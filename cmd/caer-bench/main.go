@@ -1,0 +1,188 @@
+// Command caer-bench regenerates the data figures of the CAER paper's
+// evaluation (Figures 1, 2, 3, 6, 7, 8, 9, 10) on the simulated machine,
+// printing each as an ASCII chart plus a data table, and optionally writing
+// CSV files for external plotting.
+//
+// Usage:
+//
+//	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
+//	           [-benchmarks mcf,namd,...] [-quick]
+//	           [-ablation partition,response,tuning,adversary,multiapp|all]
+//
+// -quick shrinks every benchmark's instruction count 8x for a fast smoke
+// run; the published numbers in EXPERIMENTS.md use the full lengths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"caer/internal/caer"
+	"caer/internal/experiments"
+	"caer/internal/report"
+	"caer/internal/spec"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1, 2, 3, 6, 7, 8, 9, 10")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files into")
+	seed := flag.Int64("seed", 1, "seed for all runs")
+	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 21)")
+	quick := flag.Bool("quick", false, "shrink benchmark lengths 8x for a fast smoke run")
+	ablation := flag.String("ablation", "", "additionally run ablations: partition, response, tuning, adversary, multiapp (comma-separated or 'all')")
+	flag.Parse()
+
+	suite := experiments.NewSuite()
+	suite.Seed = *seed
+	suite.Benchmarks = selectBenchmarks(*benches, *quick)
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("create csv dir: %v", err)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	out := os.Stdout
+	start := time.Now()
+
+	type figure interface {
+		Render(io.Writer) error
+	}
+	type tabled interface {
+		Table() *report.Table
+	}
+	emit := func(id string, f figure) {
+		fmt.Fprintf(out, "\n")
+		if err := f.Render(out); err != nil {
+			fatalf("render figure %s: %v", id, err)
+		}
+		if t, ok := f.(tabled); ok && *csvDir != "" {
+			path := filepath.Join(*csvDir, "figure"+id+".csv")
+			fh, err := os.Create(path)
+			if err != nil {
+				fatalf("create %s: %v", path, err)
+			}
+			if err := t.Table().WriteCSV(fh); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+			fh.Close()
+			fmt.Fprintf(out, "[wrote %s]\n", path)
+		}
+	}
+
+	if all || want["1"] {
+		emit("1", suite.Figure1())
+	}
+	if all || want["2"] {
+		emit("2", suite.Figure2())
+	}
+	if all || want["3"] {
+		emit("3", suite.Figure3(0))
+	}
+	if all || want["6"] {
+		emit("6", suite.Figure6())
+	}
+	if all || want["7"] {
+		emit("7", suite.Figure7())
+	}
+	if all || want["8"] {
+		emit("8", suite.Figure8())
+	}
+	if all || want["9"] {
+		emit("9", suite.FigureAccuracy(true, 6))
+	}
+	if all || want["10"] {
+		emit("10", suite.FigureAccuracy(false, 6))
+	}
+
+	if *ablation != "" {
+		wantAbl := map[string]bool{}
+		for _, a := range strings.Split(*ablation, ",") {
+			wantAbl[strings.TrimSpace(a)] = true
+		}
+		allAbl := wantAbl["all"]
+		mcf, ok := spec.ByName("mcf")
+		if !ok {
+			fatalf("mcf profile missing")
+		}
+		if *quick {
+			mcf.Exec.Instructions /= 8
+		}
+		if allAbl || wantAbl["partition"] {
+			emit("-ablation-partition", suite.PartitionSweep(mcf, []int{4, 6, 8, 10, 12, 14}))
+		}
+		if allAbl || wantAbl["response"] {
+			emit("-ablation-response", suite.ResponseComparison(mcf))
+		}
+		if allAbl || wantAbl["tuning"] {
+			emit("-ablation-tuning", suite.TuningSweep(mcf,
+				[]float64{0.02, 0.05, 0.5, 2, 10, 25, 100},
+				[]float64{50, 150, 400, 800, 1600, 3200}))
+		}
+		if allAbl || wantAbl["adversary"] {
+			latNames := []string{"mcf", "xalancbmk", "namd"}
+			var lats []spec.Profile
+			for _, n := range latNames {
+				p, _ := spec.ByName(n)
+				if *quick {
+					p.Exec.Instructions /= 8
+				}
+				lats = append(lats, p)
+			}
+			advNames := []string{"lbm", "libquantum", "milc"}
+			var advs []spec.Profile
+			for _, n := range advNames {
+				p, _ := spec.ByName(n)
+				advs = append(advs, p)
+			}
+			emit("-ablation-adversary", suite.AdversarySweep(lats, advs, caer.HeuristicRule))
+		}
+		if allAbl || wantAbl["multiapp"] {
+			soplex, _ := spec.ByName("soplex")
+			if *quick {
+				soplex.Exec.Instructions /= 8
+			}
+			emit("-ablation-multiapp", suite.MultiApp(
+				[2]spec.Profile{mcf, soplex},
+				[2]spec.Profile{spec.LBM(), spec.LBM()},
+				caer.HeuristicRule))
+		}
+	}
+	fmt.Fprintf(out, "\n[%s elapsed]\n", time.Since(start).Round(time.Millisecond))
+}
+
+func selectBenchmarks(csv string, quick bool) []spec.Profile {
+	var out []spec.Profile
+	if csv == "" {
+		out = spec.All()
+	} else {
+		for _, n := range strings.Split(csv, ",") {
+			p, ok := spec.ByName(strings.TrimSpace(n))
+			if !ok {
+				fatalf("unknown benchmark %q", n)
+			}
+			out = append(out, p)
+		}
+	}
+	if quick {
+		for i := range out {
+			out[i].Exec.Instructions /= 8
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caer-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

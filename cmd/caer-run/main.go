@@ -1,0 +1,127 @@
+// Command caer-run executes one co-location scenario — a latency-sensitive
+// benchmark next to a batch adversary, either unmanaged or under a CAER
+// heuristic — and prints the paper's metrics for it.
+//
+// Usage:
+//
+//	caer-run -latency mcf [-batch lbm] [-mode caer|colo|alone]
+//	         [-heuristic rule|shutter|random] [-seed N] [-adaptive]
+//	         [-dvfs N] [-usage-thresh N] [-impact F]
+//
+// Example:
+//
+//	caer-run -latency mcf -mode caer -heuristic rule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"caer/internal/caer"
+	"caer/internal/report"
+	"caer/internal/runner"
+	"caer/internal/spec"
+)
+
+func main() {
+	latency := flag.String("latency", "mcf", "latency-sensitive benchmark (short or full name)")
+	batch := flag.String("batch", "lbm", "batch adversary benchmark")
+	mode := flag.String("mode", "caer", "execution mode: alone, colo, caer")
+	heuristic := flag.String("heuristic", "rule", "CAER heuristic: shutter, rule, random, hybrid")
+	seed := flag.Int64("seed", 1, "seed for all runs")
+	adaptive := flag.Bool("adaptive", false, "use the adaptive red-light/green-light response")
+	dvfs := flag.Int("dvfs", 0, "respond by down-clocking to 1/N speed instead of pausing (0 = pause)")
+	usageThresh := flag.Float64("usage-thresh", 0, "override the rule-based usage threshold")
+	impact := flag.Float64("impact", 0, "override the shutter impact factor (QoS knob)")
+	logTail := flag.Int("log", 0, "dump the last N engine decisions after the run")
+	flag.Parse()
+
+	lat, ok := spec.ByName(*latency)
+	if !ok {
+		fatalf("unknown latency benchmark %q", *latency)
+	}
+	bat, ok := spec.ByName(*batch)
+	if !ok {
+		fatalf("unknown batch benchmark %q", *batch)
+	}
+
+	cfg := caer.DefaultConfig()
+	cfg.AdaptiveResponse = *adaptive
+	if *usageThresh > 0 {
+		cfg.UsageThresh = *usageThresh
+	}
+	if *impact > 0 {
+		cfg.ImpactFactor = *impact
+	}
+
+	s := runner.Scenario{Latency: lat, Batch: bat, Seed: *seed, Config: cfg}
+	switch *mode {
+	case "alone":
+		s.Mode = runner.ModeAlone
+	case "colo":
+		s.Mode = runner.ModeNativeColo
+	case "caer":
+		s.Mode = runner.ModeCAER
+		switch *heuristic {
+		case "shutter":
+			s.Heuristic = caer.HeuristicShutter
+		case "rule":
+			s.Heuristic = caer.HeuristicRule
+		case "random":
+			s.Heuristic = caer.HeuristicRandom
+		case "hybrid":
+			s.Heuristic = caer.HeuristicHybrid
+		default:
+			fatalf("unknown heuristic %q", *heuristic)
+		}
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	if *dvfs > 0 {
+		s.Actuator = caer.DVFSActuator(*dvfs)
+	}
+
+	r := runner.Run(s)
+	alone := runner.Run(runner.Scenario{Latency: lat, Mode: runner.ModeAlone, Seed: *seed})
+
+	fmt.Printf("scenario: %s vs %s, mode %s", lat.Name, bat.Name, s.Mode)
+	if s.Mode == runner.ModeCAER {
+		fmt.Printf(" (%s)", s.Heuristic)
+	}
+	fmt.Println()
+	fmt.Printf("  periods:                  %d (alone: %d)\n", r.Periods, alone.Periods)
+	fmt.Printf("  slowdown vs alone:        %s\n", report.Times(runner.Slowdown(r, alone)))
+	fmt.Printf("  latency app instructions: %d (LLC misses %d)\n", r.LatencyInstructions, r.LatencyMisses)
+	if s.Mode != runner.ModeAlone {
+		fmt.Printf("  batch instructions:       %d (LLC misses %d, relaunches %d)\n",
+			r.BatchInstructions, r.BatchMisses, r.Relaunches)
+		fmt.Printf("  utilization gained:       %s\n", report.Percent(runner.UtilizationGained(r)))
+	}
+	if s.Mode == runner.ModeCAER {
+		fmt.Printf("  verdicts:                 %d contention / %d clear\n", r.CPositive, r.CNegative)
+		fmt.Printf("  batch paused:             %d periods (%s of run)\n",
+			r.PausedPeriods, report.Percent(float64(r.PausedPeriods)/float64(r.Periods)))
+		colo := runner.Run(runner.Scenario{Latency: lat, Batch: bat, Mode: runner.ModeNativeColo, Seed: *seed})
+		if colo.Periods > alone.Periods {
+			fmt.Printf("  interference eliminated:  %s (native colo was %s)\n",
+				report.Percent(runner.InterferenceEliminated(r, colo, alone)),
+				report.Times(runner.Slowdown(colo, alone)))
+		}
+		if *logTail > 0 {
+			log := r.DecisionLog
+			if len(log) > *logTail {
+				log = log[len(log)-*logTail:]
+			}
+			fmt.Printf("  last %d engine decisions:\n", len(log))
+			for _, ev := range log {
+				fmt.Printf("    %s\n", ev)
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caer-run: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command caer-workloads inspects the synthetic SPEC2006-like benchmark
+// suite: for each profile it prints its sensitivity class, execution
+// parameters and measured alone-run characteristics on the scaled machine
+// (instructions per period, LLC misses per period, detected phase count).
+//
+// Usage:
+//
+//	caer-workloads [-bench mcf] [-periods 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"caer/internal/machine"
+	"caer/internal/report"
+	"caer/internal/spec"
+	"caer/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "", "inspect only this benchmark (default: all)")
+	periods := flag.Int("periods", 300, "measurement window in periods (after 50 warm-up)")
+	flag.Parse()
+
+	var profiles []spec.Profile
+	if *bench == "" {
+		profiles = spec.All()
+	} else {
+		p, ok := spec.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "caer-workloads: unknown benchmark %q\n", *bench)
+			os.Exit(1)
+		}
+		profiles = []spec.Profile{p}
+	}
+
+	t := report.NewTable("benchmark", "class", "mem_frac", "base_cpi", "instructions",
+		"instr/period", "misses/period", "phases")
+	for _, p := range profiles {
+		instr, misses, phases := characterize(p, *periods)
+		t.AddRow(p.Name, p.Class.String(),
+			fmt.Sprintf("%.2f", p.Exec.MemFraction),
+			fmt.Sprintf("%.2f", p.Exec.BaseCPI),
+			fmt.Sprintf("%d", p.Exec.Instructions),
+			fmt.Sprintf("%.0f", instr),
+			fmt.Sprintf("%.1f", misses),
+			fmt.Sprintf("%d", phases))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "caer-workloads: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// characterize measures a profile alone on the default machine.
+func characterize(p spec.Profile, periods int) (instrPerPeriod, missesPerPeriod float64, phases int) {
+	m := machine.New(machine.Config{Cores: 2})
+	proc := p.Batch().NewProcess(0, 42)
+	m.Bind(0, proc)
+	for i := 0; i < 50; i++ {
+		m.RunPeriod()
+	}
+	rec := trace.NewRecorder(m)
+	for i := 0; i < periods; i++ {
+		m.RunPeriod()
+		rec.Tick()
+	}
+	tr := rec.Trace()
+	var instr, misses float64
+	for _, v := range tr.InstrSeries(0) {
+		instr += v
+	}
+	for _, v := range tr.MissSeries(0) {
+		misses += v
+	}
+	n := float64(tr.Len())
+	return instr / n, misses / n, len(trace.DetectPhases(tr.MissSeries(0), 8, 0.8, 50))
+}

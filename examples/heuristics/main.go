@@ -1,0 +1,80 @@
+// Heuristics: compare every detection/response pairing — burst-shutter,
+// rule-based, the random baseline, the adaptive red-light/green-light
+// extension, and the DVFS-style response — on the same pair of workloads,
+// including a tricky one: libquantum, a pure streamer whose per-period miss
+// count *drops* under contention (it simply runs slower), inverting the
+// shutter's signal.
+//
+//	go run ./examples/heuristics
+package main
+
+import (
+	"fmt"
+
+	"caer"
+)
+
+type variant struct {
+	name     string
+	scenario func(lat caer.Benchmark) caer.Scenario
+}
+
+func variants() []variant {
+	return []variant{
+		{"native colo", func(l caer.Benchmark) caer.Scenario {
+			return caer.Scenario{Latency: l, Mode: caer.ModeNativeColo}
+		}},
+		{"shutter", func(l caer.Benchmark) caer.Scenario {
+			return caer.Scenario{Latency: l, Mode: caer.ModeCAER, Heuristic: caer.HeuristicShutter}
+		}},
+		{"shutter+adaptive", func(l caer.Benchmark) caer.Scenario {
+			cfg := caer.DefaultConfig()
+			cfg.AdaptiveResponse = true
+			return caer.Scenario{Latency: l, Mode: caer.ModeCAER, Heuristic: caer.HeuristicShutter, Config: cfg}
+		}},
+		{"rule", func(l caer.Benchmark) caer.Scenario {
+			return caer.Scenario{Latency: l, Mode: caer.ModeCAER, Heuristic: caer.HeuristicRule}
+		}},
+		{"rule+dvfs/4", func(l caer.Benchmark) caer.Scenario {
+			return caer.Scenario{Latency: l, Mode: caer.ModeCAER, Heuristic: caer.HeuristicRule,
+				Actuator: caer.DVFSActuator(4)}
+		}},
+		{"hybrid", func(l caer.Benchmark) caer.Scenario {
+			return caer.Scenario{Latency: l, Mode: caer.ModeCAER, Heuristic: caer.HeuristicHybrid}
+		}},
+		{"random", func(l caer.Benchmark) caer.Scenario {
+			return caer.Scenario{Latency: l, Mode: caer.ModeCAER, Heuristic: caer.HeuristicRandom}
+		}},
+	}
+}
+
+func main() {
+	for _, benchName := range []string{"mcf", "libquantum", "namd"} {
+		lat, ok := caer.BenchmarkByName(benchName)
+		if !ok {
+			panic("missing profile " + benchName)
+		}
+		alone := caer.Run(caer.Scenario{Latency: lat, Mode: caer.ModeAlone})
+		fmt.Printf("%s vs lbm (alone: %d periods)\n", lat.Name, alone.Periods)
+		fmt.Printf("  %-18s %-10s %-12s %s\n", "variant", "slowdown", "util gained", "verdicts (+/-)")
+		for _, v := range variants() {
+			r := caer.Run(v.scenario(lat))
+			verdicts := "-"
+			if r.CPositive+r.CNegative > 0 {
+				verdicts = fmt.Sprintf("%d/%d", r.CPositive, r.CNegative)
+			}
+			fmt.Printf("  %-18s %-10.3f %-12s %s\n",
+				v.name, caer.Slowdown(r, alone),
+				fmt.Sprintf("%.0f%%", 100*caer.UtilizationGained(r)), verdicts)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note libquantum: its misses stay high regardless of the batch, so")
+	fmt.Println("the rule-based heuristic throttles hard (misses are 'heavy' on both")
+	fmt.Println("sides) while the shutter sees little burst/steady delta — the two")
+	fmt.Println("heuristics genuinely disagree, as the paper's §6.4 analysis expects.")
+	fmt.Println()
+	fmt.Println("The hybrid extension gets the best of both: on quiet pairs (namd) its")
+	fmt.Println("rule gate skips the shutter's probing cost, and on intrinsic streamers")
+	fmt.Println("(libquantum) its confirmation probe refutes the rule's false positive.")
+}

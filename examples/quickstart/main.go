@@ -1,0 +1,42 @@
+// Quickstart: co-locate the paper's worst-case pair — mcf (latency-
+// sensitive) and lbm (batch) — three ways, and see what CAER buys you.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"caer"
+)
+
+func main() {
+	mcf, ok := caer.BenchmarkByName("mcf")
+	if !ok {
+		panic("mcf profile missing")
+	}
+
+	// 1. The safe-but-wasteful policy: run the latency-sensitive app alone.
+	alone := caer.Run(caer.Scenario{Latency: mcf, Mode: caer.ModeAlone})
+
+	// 2. Naive co-location: full utilization, unbounded interference.
+	colo := caer.Run(caer.Scenario{Latency: mcf, Mode: caer.ModeNativeColo})
+
+	// 3. CAER: detect contention online, throttle the batch only when it
+	//    hurts.
+	managed := caer.Run(caer.Scenario{
+		Latency:   mcf,
+		Mode:      caer.ModeCAER,
+		Heuristic: caer.HeuristicRule,
+	})
+
+	fmt.Printf("mcf alone:        %5d periods  (baseline, 0%% extra utilization)\n", alone.Periods)
+	fmt.Printf("mcf + lbm native: %5d periods  (%.2fx slowdown, 100%% extra utilization)\n",
+		colo.Periods, caer.Slowdown(colo, alone))
+	fmt.Printf("mcf + lbm CAER:   %5d periods  (%.2fx slowdown, %.0f%% extra utilization)\n",
+		managed.Periods, caer.Slowdown(managed, alone), 100*caer.UtilizationGained(managed))
+	fmt.Printf("\nCAER eliminated %.0f%% of the cross-core interference penalty\n",
+		100*caer.InterferenceEliminated(managed, colo, alone))
+	fmt.Printf("while the batch application still retired %d instructions.\n",
+		managed.BatchInstructions)
+}

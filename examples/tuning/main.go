@@ -1,0 +1,60 @@
+// Tuning: explore the heuristic tuning space the paper reserves for future
+// work (§6.2). The shutter's impact factor is the QoS "knob": it sets how
+// much cross-core interference the latency-sensitive application will
+// tolerate before the batch is throttled. The rule-based usage threshold
+// plays the same role less directly.
+//
+// This example sweeps both knobs for one sensitive benchmark and prints
+// the utilization-vs-interference frontier each heuristic traces out.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+
+	"caer"
+)
+
+func main() {
+	soplex, ok := caer.BenchmarkByName("soplex")
+	if !ok {
+		panic("soplex profile missing")
+	}
+	alone := caer.Run(caer.Scenario{Latency: soplex, Mode: caer.ModeAlone})
+	colo := caer.Run(caer.Scenario{Latency: soplex, Mode: caer.ModeNativeColo})
+	fmt.Printf("soplex + lbm: native co-location slowdown %.2fx\n\n", caer.Slowdown(colo, alone))
+
+	fmt.Println("burst-shutter impact factor sweep (lower = stricter QoS):")
+	fmt.Printf("  %-8s  %-10s  %-12s\n", "impact", "slowdown", "util gained")
+	// Contention signals are often unambiguous (the burst average is several
+	// times the steady average), so the interesting part of the knob's range
+	// spans orders of magnitude.
+	for _, impact := range []float64{0.05, 0.5, 2, 5, 10, 25, 100} {
+		cfg := caer.DefaultConfig()
+		cfg.ImpactFactor = impact
+		r := caer.Run(caer.Scenario{
+			Latency: soplex, Mode: caer.ModeCAER,
+			Heuristic: caer.HeuristicShutter, Config: cfg,
+		})
+		fmt.Printf("  %-8.2f  %-10.3f  %.0f%%\n",
+			impact, caer.Slowdown(r, alone), 100*caer.UtilizationGained(r))
+	}
+
+	fmt.Println("\nrule-based usage threshold sweep (lower = stricter QoS):")
+	fmt.Printf("  %-8s  %-10s  %-12s\n", "thresh", "slowdown", "util gained")
+	for _, thresh := range []float64{50, 150, 400, 800, 1600, 3200} {
+		cfg := caer.DefaultConfig()
+		cfg.UsageThresh = thresh
+		r := caer.Run(caer.Scenario{
+			Latency: soplex, Mode: caer.ModeCAER,
+			Heuristic: caer.HeuristicRule, Config: cfg,
+		})
+		fmt.Printf("  %-8.0f  %-10.3f  %.0f%%\n",
+			thresh, caer.Slowdown(r, alone), 100*caer.UtilizationGained(r))
+	}
+	fmt.Println("\nEach knob trades latency-app QoS against batch throughput;")
+	fmt.Println("the shutter knob expresses the trade-off directly in units of")
+	fmt.Println("tolerated miss-rate impact, which is why the paper calls it the")
+	fmt.Println("more intuitive abstraction.")
+}

@@ -1,0 +1,3 @@
+module caer
+
+go 1.22

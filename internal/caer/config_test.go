@@ -1,0 +1,104 @@
+package caer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"window", func(c *Config) { c.WindowSize = 0 }, "WindowSize"},
+		{"switch", func(c *Config) { c.SwitchPoint = 0 }, "SwitchPoint"},
+		{"endpoint", func(c *Config) { c.EndPoint = c.SwitchPoint }, "EndPoint"},
+		{"impact", func(c *Config) { c.ImpactFactor = -0.1 }, "ImpactFactor"},
+		{"noise", func(c *Config) { c.NoiseThresh = -1 }, "NoiseThresh"},
+		{"skip negative", func(c *Config) { c.TransientSkip = -1 }, "TransientSkip"},
+		{"skip eats shutter", func(c *Config) { c.TransientSkip = c.SwitchPoint - 1 }, "TransientSkip"},
+		{"skip eats burst", func(c *Config) { c.TransientSkip = c.EndPoint - c.SwitchPoint }, "TransientSkip"},
+		{"usage", func(c *Config) { c.UsageThresh = -1 }, "UsageThresh"},
+		{"response", func(c *Config) { c.ResponseLength = 0 }, "ResponseLength"},
+		{"maxresponse", func(c *Config) { c.AdaptiveResponse = true; c.MaxResponseLength = 1 }, "MaxResponseLength"},
+		{"randomp", func(c *Config) { c.RandomP = 1.5 }, "RandomP"},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{
+		VerdictPending:      "pending",
+		VerdictContention:   "contention",
+		VerdictNoContention: "no-contention",
+		Verdict(9):          "Verdict(9)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestHeuristicKindStringsAndFactories(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		k    HeuristicKind
+		name string
+		det  string
+		resp string
+	}{
+		{HeuristicShutter, "shutter", "burst-shutter", "red-light-green-light(10)"},
+		{HeuristicRule, "rule-based", "rule-based", "soft-lock"},
+		{HeuristicRandom, "random", "random", "red-light-green-light(1)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.name {
+			t.Errorf("String() = %q, want %q", got, c.name)
+		}
+		if got := c.k.NewDetector(cfg).Name(); got != c.det {
+			t.Errorf("%v detector = %q, want %q", c.k, got, c.det)
+		}
+		if got := c.k.NewResponder(cfg).Name(); got != c.resp {
+			t.Errorf("%v responder = %q, want %q", c.k, got, c.resp)
+		}
+	}
+	if HeuristicKind(9).String() != "HeuristicKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown kind NewDetector did not panic")
+			}
+		}()
+		HeuristicKind(9).NewDetector(cfg)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown kind NewResponder did not panic")
+			}
+		}()
+		HeuristicKind(9).NewResponder(cfg)
+	}()
+}

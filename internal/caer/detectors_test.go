@@ -1,0 +1,321 @@
+package caer
+
+import (
+	"testing"
+
+	"caer/internal/comm"
+)
+
+// shutterTestConfig: 2 shutter periods' worth of samples land in positions
+// [1,3), burst in [3,6).
+func shutterTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SwitchPoint = 3
+	cfg.EndPoint = 6
+	cfg.NoiseThresh = 5
+	cfg.ImpactFactor = 0.05
+	cfg.TransientSkip = 0
+	return cfg
+}
+
+func TestShutterDirectiveSchedule(t *testing.T) {
+	d := NewShutterDetector(shutterTestConfig())
+	// Directives issued per step: steps 1,2 -> Pause (shutter), steps 3..5
+	// -> Run (burst), step 6 -> verdict with Run.
+	wantDirs := []comm.Directive{
+		comm.DirectivePause, comm.DirectivePause,
+		comm.DirectiveRun, comm.DirectiveRun, comm.DirectiveRun,
+		comm.DirectiveRun,
+	}
+	for i, want := range wantDirs {
+		dir, v := d.Step(0, 10)
+		if dir != want {
+			t.Errorf("step %d directive = %v, want %v", i+1, dir, want)
+		}
+		if i < len(wantDirs)-1 && v != VerdictPending {
+			t.Errorf("step %d verdict = %v, want pending", i+1, v)
+		}
+		if i == len(wantDirs)-1 && v == VerdictPending {
+			t.Error("final step still pending")
+		}
+	}
+}
+
+// runShutterCycle drives one full detection cycle with the given neighbour
+// samples (len == EndPoint) and returns the final verdict.
+func runShutterCycle(t *testing.T, d *ShutterDetector, samples []float64) Verdict {
+	t.Helper()
+	var v Verdict
+	for i, s := range samples {
+		var dir comm.Directive
+		dir, v = d.Step(0, s)
+		_ = dir
+		if i < len(samples)-1 && v != VerdictPending {
+			t.Fatalf("premature verdict %v at step %d", v, i+1)
+		}
+	}
+	if v == VerdictPending {
+		t.Fatal("cycle ended without a verdict")
+	}
+	return v
+}
+
+func TestShutterDetectsMissSpike(t *testing.T) {
+	d := NewShutterDetector(shutterTestConfig())
+	// Position 0 is the contaminated pre-cycle sample; steady = positions
+	// 1,2; burst = positions 3,4,5. Burst 100 vs steady 20: spike of 80 >
+	// noise 5 and > 5% relative.
+	v := runShutterCycle(t, d, []float64{999, 20, 20, 100, 100, 100})
+	if v != VerdictContention {
+		t.Errorf("verdict = %v, want contention", v)
+	}
+	no, yes := d.VerdictCounts()
+	if no != 0 || yes != 1 || d.Cycles() != 1 {
+		t.Errorf("counts = (%d,%d,%d cycles)", no, yes, d.Cycles())
+	}
+}
+
+func TestShutterIgnoresFlatNeighbor(t *testing.T) {
+	d := NewShutterDetector(shutterTestConfig())
+	v := runShutterCycle(t, d, []float64{999, 50, 50, 50, 50, 50})
+	if v != VerdictNoContention {
+		t.Errorf("verdict = %v, want no-contention", v)
+	}
+}
+
+func TestShutterNoiseThresholdFiltersSmallAbsoluteSpikes(t *testing.T) {
+	// Relative spike is huge (2 -> 4 is +100%) but absolute delta 2 < noise
+	// threshold 5: a quiet neighbour must not trigger contention.
+	d := NewShutterDetector(shutterTestConfig())
+	v := runShutterCycle(t, d, []float64{0, 2, 2, 4, 4, 4})
+	if v != VerdictNoContention {
+		t.Errorf("verdict = %v, want no-contention for sub-noise spike", v)
+	}
+}
+
+func TestShutterImpactFactorFiltersRelativelySmallSpikes(t *testing.T) {
+	// Absolute delta 10 > noise 5, but relative spike 1% < impact 5%.
+	d := NewShutterDetector(shutterTestConfig())
+	v := runShutterCycle(t, d, []float64{0, 1000, 1000, 1010, 1010, 1010})
+	if v != VerdictNoContention {
+		t.Errorf("verdict = %v, want no-contention for sub-impact spike", v)
+	}
+}
+
+func TestShutterCyclesAreIndependent(t *testing.T) {
+	d := NewShutterDetector(shutterTestConfig())
+	if v := runShutterCycle(t, d, []float64{0, 20, 20, 100, 100, 100}); v != VerdictContention {
+		t.Fatalf("first cycle = %v", v)
+	}
+	// Second cycle flat: the spike of cycle one must not leak in.
+	if v := runShutterCycle(t, d, []float64{0, 100, 100, 100, 100, 100}); v != VerdictNoContention {
+		t.Errorf("second cycle = %v, want no-contention", v)
+	}
+	if d.Cycles() != 2 {
+		t.Errorf("cycles = %d, want 2", d.Cycles())
+	}
+}
+
+func TestShutterResetDiscardsPartialCycle(t *testing.T) {
+	d := NewShutterDetector(shutterTestConfig())
+	d.Step(0, 1000)
+	d.Step(0, 1000)
+	d.Reset()
+	// A fresh flat cycle must be judged on its own samples only.
+	if v := runShutterCycle(t, d, []float64{0, 50, 50, 50, 50, 50}); v != VerdictNoContention {
+		t.Errorf("post-reset cycle = %v, want no-contention", v)
+	}
+}
+
+func TestShutterTransientSkipIgnoresRefillDecay(t *testing.T) {
+	// With a cache-refill transient at the head of the shutter span, plain
+	// whole-span averages hide the contention signal; the transient skip
+	// must recover it. SwitchPoint 6, EndPoint 12, skip 3:
+	// steady = positions 4,5; burst = positions 9,10,11.
+	cfg := DefaultConfig()
+	cfg.SwitchPoint = 6
+	cfg.EndPoint = 12
+	cfg.TransientSkip = 3
+	cfg.NoiseThresh = 5
+	d := NewShutterDetector(cfg)
+	samples := []float64{
+		900,            // position 0: pre-cycle, excluded
+		1500, 900, 500, // shutter refill decay (skipped)
+		40, 40, // settled shutter tail -> steady = 40
+		100, 300, 500, // burst ramp (skipped)
+		520, 530, 540, // settled burst tail -> burst = 530
+	}
+	v := runShutterCycle(t, d, samples)
+	if v != VerdictContention {
+		t.Errorf("verdict = %v, want contention (skip should expose the settled tails)", v)
+	}
+	// Without the skip the same samples are ambiguous: steady ~ burst.
+	cfg.TransientSkip = 0
+	d0 := NewShutterDetector(cfg)
+	v0 := runShutterCycle(t, d0, samples)
+	if v0 != VerdictNoContention {
+		t.Errorf("no-skip verdict = %v, want no-contention (decay masks the signal)", v0)
+	}
+}
+
+func TestRuleDetectorBothHeavyMeansContention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UsageThresh = 30
+	cfg.WindowSize = 4
+	d := NewRuleDetector(cfg)
+	var v Verdict
+	for i := 0; i < 4; i++ {
+		_, v = d.Step(100, 100)
+	}
+	if v != VerdictContention {
+		t.Errorf("both-heavy verdict = %v, want contention", v)
+	}
+	if d.OwnMean() != 100 || d.NeighborMean() != 100 {
+		t.Errorf("means = %v,%v", d.OwnMean(), d.NeighborMean())
+	}
+}
+
+func TestRuleDetectorQuietEitherSideMeansNoContention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UsageThresh = 30
+	cfg.WindowSize = 2
+	cases := []struct {
+		name     string
+		own, nbr float64
+	}{
+		{"own quiet", 5, 100},
+		{"neighbor quiet", 100, 5},
+		{"both quiet", 5, 5},
+	}
+	for _, c := range cases {
+		d := NewRuleDetector(cfg)
+		var v Verdict
+		for i := 0; i < 2; i++ {
+			_, v = d.Step(c.own, c.nbr)
+		}
+		if v != VerdictNoContention {
+			t.Errorf("%s: verdict = %v, want no-contention", c.name, v)
+		}
+	}
+}
+
+func TestRuleDetectorThresholdBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UsageThresh = 30
+	cfg.WindowSize = 1
+	d := NewRuleDetector(cfg)
+	// Algorithm 2 uses strict less-than: exactly-at-threshold is heavy.
+	if _, v := d.Step(30, 30); v != VerdictContention {
+		t.Errorf("at-threshold verdict = %v, want contention", v)
+	}
+	if _, v := d.Step(29.999, 30); v != VerdictNoContention {
+		t.Errorf("below-threshold verdict = %v, want no-contention", v)
+	}
+}
+
+func TestRuleDetectorDirectiveAlwaysRun(t *testing.T) {
+	d := NewRuleDetector(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		dir, _ := d.Step(1000, 1000)
+		if dir != comm.DirectiveRun {
+			t.Fatal("rule detector tried to pause during detection (it is passive)")
+		}
+	}
+}
+
+func TestRuleDetectorWindowSmoothsTransients(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UsageThresh = 30
+	cfg.WindowSize = 10
+	d := NewRuleDetector(cfg)
+	for i := 0; i < 10; i++ {
+		d.Step(100, 100)
+	}
+	// One quiet sample must not flip a 10-sample window below threshold.
+	if _, v := d.Step(0, 0); v != VerdictContention {
+		t.Errorf("single quiet sample flipped verdict to %v", v)
+	}
+	no, yes := d.VerdictCounts()
+	if no != 0 || yes != 11 {
+		t.Errorf("verdict counts = %d,%d", no, yes)
+	}
+}
+
+func TestRandomDetectorExtremes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomP = 1
+	d := NewRandomDetector(cfg)
+	for i := 0; i < 50; i++ {
+		if _, v := d.Step(0, 0); v != VerdictContention {
+			t.Fatal("P=1 produced no-contention")
+		}
+	}
+	cfg.RandomP = 0
+	d = NewRandomDetector(cfg)
+	for i := 0; i < 50; i++ {
+		if _, v := d.Step(0, 0); v != VerdictNoContention {
+			t.Fatal("P=0 produced contention")
+		}
+	}
+}
+
+func TestRandomDetectorHalfProbabilityAndDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomP = 0.5
+	cfg.RandomSeed = 42
+	d1 := NewRandomDetector(cfg)
+	d2 := NewRandomDetector(cfg)
+	contending := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, v1 := d1.Step(0, 0)
+		_, v2 := d2.Step(0, 0)
+		if v1 != v2 {
+			t.Fatal("same-seed random detectors diverged")
+		}
+		if v1 == VerdictContention {
+			contending++
+		}
+	}
+	frac := float64(contending) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("contention fraction = %v, want ~0.5", frac)
+	}
+	no, yes := d1.VerdictCounts()
+	if int(no+yes) != n {
+		t.Errorf("verdict counts %d+%d != %d", no, yes, n)
+	}
+	d1.Reset() // no-op, must not panic
+}
+
+func TestDetectorNames(t *testing.T) {
+	cfg := DefaultConfig()
+	if NewShutterDetector(cfg).Name() != "burst-shutter" {
+		t.Error("shutter name")
+	}
+	if NewRuleDetector(cfg).Name() != "rule-based" {
+		t.Error("rule name")
+	}
+	if NewRandomDetector(cfg).Name() != "random" {
+		t.Error("random name")
+	}
+}
+
+func TestDetectorConstructorsValidateConfig(t *testing.T) {
+	bad := DefaultConfig()
+	bad.WindowSize = 0
+	for _, f := range []func(){
+		func() { NewShutterDetector(bad) },
+		func() { NewRuleDetector(bad) },
+		func() { NewRandomDetector(bad) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config accepted by a detector constructor")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,184 @@
+package caer
+
+import (
+	"fmt"
+
+	"caer/internal/comm"
+)
+
+// engineState is the Figure 5 state machine position.
+type engineState int
+
+const (
+	stateDetecting engineState = iota
+	stateHolding
+)
+
+// EngineStats summarises an engine's decision history — the paper's
+// prototype "logs the decisions it makes".
+type EngineStats struct {
+	Periods        uint64 // Tick calls
+	PausedPeriods  uint64 // periods the batch was directed to pause
+	RunPeriods     uint64 // periods the batch was directed to run
+	CPositive      uint64 // contention verdicts
+	CNegative      uint64 // no-contention verdicts
+	DetectionTicks uint64 // periods spent inside detection protocols
+	HoldTicks      uint64 // periods spent inside response holds
+}
+
+// Engine is the main CAER layer that lies under a batch application
+// (paper §3.2): each period it publishes the batch's own LLC-miss sample to
+// the communication table, reads the latency-sensitive neighbours' samples
+// back, advances the detect/respond state machine of Figure 5, and emits
+// the throttling directive for the coming period.
+type Engine struct {
+	det  Detector
+	resp Responder
+
+	ownSlot       *comm.Slot
+	neighborSlots []*comm.Slot
+
+	state        engineState
+	holdLeft     int
+	directive    comm.Directive
+	stats        EngineStats
+	log          *EventLog
+	loggedDir    comm.Directive
+	everDirected bool
+}
+
+// engineLogCapacity bounds the decision log's memory footprint.
+const engineLogCapacity = 4096
+
+// NewEngine wires a detector and responder to the batch application's own
+// table slot and the latency-sensitive neighbours' slots. It panics if any
+// slot is missing or mis-classified, which would mean the deployment is
+// wired wrongly.
+func NewEngine(det Detector, resp Responder, own *comm.Slot, neighbors []*comm.Slot) *Engine {
+	if det == nil || resp == nil {
+		panic("caer: engine needs a detector and a responder")
+	}
+	if own == nil || own.Role() != comm.RoleBatch {
+		panic("caer: engine's own slot must be a batch slot")
+	}
+	if len(neighbors) == 0 {
+		panic("caer: engine needs at least one latency-sensitive neighbour")
+	}
+	for _, n := range neighbors {
+		if n == nil || n.Role() != comm.RoleLatency {
+			panic(fmt.Sprintf("caer: neighbour slot %v is not latency-sensitive", n))
+		}
+	}
+	ns := make([]*comm.Slot, len(neighbors))
+	copy(ns, neighbors)
+	return &Engine{det: det, resp: resp, ownSlot: own, neighborSlots: ns, log: NewEventLog(engineLogCapacity)}
+}
+
+// Log returns the engine's bounded decision log.
+func (e *Engine) Log() *EventLog { return e.log }
+
+// Detector returns the engine's heuristic.
+func (e *Engine) Detector() Detector { return e.det }
+
+// Responder returns the engine's response mechanism.
+func (e *Engine) Responder() Responder { return e.resp }
+
+// Stats returns a copy of the decision log counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Directive returns the most recently issued directive.
+func (e *Engine) Directive() comm.Directive { return e.directive }
+
+// OwnMean implements View over the batch slot's window.
+func (e *Engine) OwnMean() float64 { return e.ownSlot.WindowMean() }
+
+// NeighborMean implements View: the aggregate (summed) windowed pressure of
+// every latency-sensitive neighbour.
+func (e *Engine) NeighborMean() float64 {
+	var s float64
+	for _, n := range e.neighborSlots {
+		s += n.WindowMean()
+	}
+	return s
+}
+
+// LastNeighbor implements View: the neighbours' aggregate misses in the
+// most recent period.
+func (e *Engine) LastNeighbor() float64 {
+	var s float64
+	for _, n := range e.neighborSlots {
+		s += n.LastSample()
+	}
+	return s
+}
+
+// Tick advances the engine by one sampling period. ownMisses is the batch
+// application's LLC misses during the period just completed (read from its
+// PMU); the neighbours' samples are taken from the communication table,
+// where their CAER-M monitors have already published them. Tick returns
+// the directive for the coming period and records it in the table.
+func (e *Engine) Tick(ownMisses float64) comm.Directive {
+	e.ownSlot.Publish(ownMisses)
+	neighbor := e.LastNeighbor()
+	e.stats.Periods++
+
+	if e.state == stateHolding {
+		d, release := e.resp.Hold(e)
+		e.holdLeft--
+		e.stats.HoldTicks++
+		e.directive = d
+		if release || e.holdLeft <= 0 {
+			e.state = stateDetecting
+			e.det.Reset()
+			if release {
+				e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventHoldRelease, NeighborMisses: neighbor})
+			}
+		}
+		e.finishTick()
+		return e.directive
+	}
+
+	e.stats.DetectionTicks++
+	d, v := e.det.Step(ownMisses, neighbor)
+	if v == VerdictPending {
+		e.directive = d
+		e.finishTick()
+		return e.directive
+	}
+
+	contending := v == VerdictContention
+	if contending {
+		e.stats.CPositive++
+	} else {
+		e.stats.CNegative++
+	}
+	e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventVerdict, Verdict: v,
+		OwnMisses: ownMisses, NeighborMisses: neighbor})
+	dir, n := e.resp.React(contending, e)
+	if n < 1 {
+		panic(fmt.Sprintf("caer: responder %s returned hold length %d", e.resp.Name(), n))
+	}
+	e.det.Reset()
+	e.directive = dir
+	if n > 1 {
+		e.state = stateHolding
+		e.holdLeft = n - 1
+		e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventHoldStart, Directive: dir, HoldLen: n})
+	}
+	e.finishTick()
+	return e.directive
+}
+
+func (e *Engine) finishTick() {
+	if e.directive == comm.DirectivePause {
+		e.stats.PausedPeriods++
+	} else {
+		e.stats.RunPeriods++
+	}
+	if !e.everDirected || e.directive != e.loggedDir {
+		e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventDirective, Directive: e.directive})
+		e.loggedDir = e.directive
+		e.everDirected = true
+	}
+	e.ownSlot.SetDirective(e.directive)
+}

@@ -1,0 +1,148 @@
+package caer
+
+import (
+	"testing"
+
+	"caer/internal/comm"
+	"caer/internal/machine"
+	"caer/internal/spec"
+)
+
+func hybridTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SwitchPoint = 3
+	cfg.EndPoint = 6
+	cfg.TransientSkip = 0
+	cfg.NoiseThresh = 5
+	cfg.UsageThresh = 50
+	cfg.WindowSize = 2
+	return cfg
+}
+
+func TestHybridGatesQuietPairsWithoutProbing(t *testing.T) {
+	d := NewHybridDetector(hybridTestConfig())
+	for i := 0; i < 50; i++ {
+		dir, v := d.Step(5, 5) // both quiet
+		if v != VerdictNoContention {
+			t.Fatalf("step %d: verdict %v, want no-contention", i, v)
+		}
+		if dir != comm.DirectiveRun {
+			t.Fatalf("step %d: quiet pair got directive %v", i, dir)
+		}
+	}
+	gated, probes := d.GateStats()
+	if gated != 50 || probes != 0 {
+		t.Errorf("gate stats = %d gated, %d probes; want 50, 0", gated, probes)
+	}
+}
+
+func TestHybridConfirmsRealContention(t *testing.T) {
+	d := NewHybridDetector(hybridTestConfig())
+	// Warm the rule windows with heavy values so the gate fires.
+	var v Verdict
+	var dirs []comm.Directive
+	// Scripted: heavy on both sides; during the confirmation shutter the
+	// neighbour's misses drop (batch halted) then spike in the burst —
+	// genuine contention.
+	neighbor := []float64{
+		500,    // gate fires here; shutter cycle position 0 (pre-cycle sample)
+		80, 80, // shutter closed: neighbour recovers
+		500, 510, // burst: misses spike
+		505, // cycle end -> verdict
+	}
+	for _, n := range neighbor {
+		var dir comm.Directive
+		dir, v = d.Step(400, n)
+		dirs = append(dirs, dir)
+	}
+	if v != VerdictContention {
+		t.Fatalf("verdict = %v, want contention confirmed", v)
+	}
+	// The shutter protocol actually halted the batch while measuring: the
+	// pause directives issued at steps 0 and 1 cover the periods sampled
+	// at window positions 1 and 2 (the steady span).
+	if dirs[0] != comm.DirectivePause || dirs[1] != comm.DirectivePause {
+		t.Errorf("confirmation did not close the shutter: %v", dirs)
+	}
+	_, probes := d.GateStats()
+	if probes != 1 {
+		t.Errorf("probes = %d, want 1", probes)
+	}
+}
+
+func TestHybridRefutesIntrinsicMisses(t *testing.T) {
+	d := NewHybridDetector(hybridTestConfig())
+	// Both heavy, but the neighbour's misses do NOT react to the batch
+	// (an intrinsic streamer): the shutter confirmation must refute. Stop
+	// at the first completed verdict (the gate immediately re-probes on
+	// further heavy samples).
+	v := VerdictPending
+	for i := 0; i < 6 && v == VerdictPending; i++ {
+		_, v = d.Step(400, 500)
+	}
+	if v != VerdictNoContention {
+		t.Fatalf("verdict = %v, want the probe to refute intrinsic misses", v)
+	}
+}
+
+func TestHybridResetClearsConfirmation(t *testing.T) {
+	d := NewHybridDetector(hybridTestConfig())
+	d.Step(400, 500) // enters confirmation
+	d.Reset()
+	// The rule's running windows survive resets (Algorithm 2's averages
+	// are continuous), so the stale heavy sample re-fires the gate once;
+	// an in-flight probe over quiet samples then refutes, and once the
+	// windows have drained the gate resolves quiet pairs instantly.
+	v := VerdictPending
+	for i := 0; i < 6 && v == VerdictPending; i++ {
+		_, v = d.Step(0, 0)
+	}
+	if v != VerdictNoContention {
+		t.Fatalf("post-reset probe verdict = %v", v)
+	}
+	gatedBefore, _ := d.GateStats()
+	if _, v := d.Step(0, 0); v != VerdictNoContention {
+		t.Errorf("drained-window verdict = %v", v)
+	}
+	gatedAfter, _ := d.GateStats()
+	if gatedAfter != gatedBefore+1 {
+		t.Error("quiet pair not resolved by the gate after windows drained")
+	}
+}
+
+func TestHybridName(t *testing.T) {
+	if NewHybridDetector(DefaultConfig()).Name() != "hybrid(rule-gate+shutter-confirm)" {
+		t.Error("name wrong")
+	}
+	if HeuristicHybrid.String() != "hybrid" {
+		t.Error("kind string wrong")
+	}
+	if HeuristicHybrid.NewDetector(DefaultConfig()).Name() == "" {
+		t.Error("factory broken")
+	}
+	if HeuristicHybrid.NewResponder(DefaultConfig()).Name() != "red-light-green-light(10)" {
+		t.Error("responder pairing wrong")
+	}
+}
+
+func TestHybridEndToEndBeatsRuleOnStreamerPair(t *testing.T) {
+	// libquantum's misses are intrinsic: the rule heuristic locks the
+	// batch out (~0 utilization), while the hybrid's confirmation probes
+	// refute and keep the batch running substantially more.
+	duty := func(kind HeuristicKind) float64 {
+		m := machine.New(machine.Config{Cores: 2})
+		rt := NewRuntime(m, kind, DefaultConfig())
+		libq, _ := spec.ByName("libquantum")
+		rt.AddLatency("libquantum", 0, libq.Batch().NewProcess(0, 11))
+		rt.AddBatch("lbm", 1, spec.LBM().Batch().NewProcess(1<<28, 12))
+		for i := 0; i < 400; i++ {
+			rt.Step()
+		}
+		return m.Core(1).Utilization()
+	}
+	rule := duty(HeuristicRule)
+	hybrid := duty(HeuristicHybrid)
+	if hybrid < rule+0.2 {
+		t.Errorf("hybrid duty %.3f not clearly above rule %.3f on an intrinsic streamer", hybrid, rule)
+	}
+}

@@ -1,0 +1,37 @@
+package caer
+
+import (
+	"caer/internal/comm"
+	"caer/internal/pmu"
+)
+
+// Monitor is the lightweight CAER-M virtual layer that lies beneath a
+// latency-sensitive application (paper §3.2, the "thin" layers of
+// Figure 4). It never modifies its application; its only job is to probe
+// the application's PMU each sampling period and publish the LLC-miss
+// sample to the communication table for the engines to consume.
+type Monitor struct {
+	pmu  *pmu.PMU
+	slot *comm.Slot
+}
+
+// NewMonitor binds a PMU view to a latency-sensitive table slot. It panics
+// on a mis-wired deployment.
+func NewMonitor(p *pmu.PMU, slot *comm.Slot) *Monitor {
+	if p == nil {
+		panic("caer: monitor needs a PMU")
+	}
+	if slot == nil || slot.Role() != comm.RoleLatency {
+		panic("caer: monitor's slot must be latency-sensitive")
+	}
+	return &Monitor{pmu: p, slot: slot}
+}
+
+// Slot returns the monitor's table slot.
+func (m *Monitor) Slot() *comm.Slot { return m.slot }
+
+// Tick performs one periodic probe: read-and-restart the LLC-miss counter
+// and publish the delta.
+func (m *Monitor) Tick() {
+	m.slot.Publish(float64(m.pmu.ReadDelta(pmu.EventLLCMisses)))
+}

@@ -1,0 +1,58 @@
+package caer
+
+import (
+	"testing"
+
+	"caer/internal/comm"
+	"caer/internal/pmu"
+)
+
+// countSource is a minimal pmu.Source for monitor tests.
+type countSource struct {
+	misses uint64
+}
+
+func (c *countSource) ReadCounter(core int, ev pmu.Event) uint64 {
+	if ev == pmu.EventLLCMisses {
+		return c.misses
+	}
+	return 0
+}
+
+func TestMonitorPublishesPerPeriodDeltas(t *testing.T) {
+	src := &countSource{}
+	tab := comm.NewTable(4)
+	slot := tab.Register("search", comm.RoleLatency)
+	mon := NewMonitor(pmu.New(src, 0), slot)
+	if mon.Slot() != slot {
+		t.Error("Slot() accessor wrong")
+	}
+
+	src.misses = 120
+	mon.Tick()
+	src.misses = 150
+	mon.Tick()
+	samples := slot.Samples()
+	if len(samples) != 2 || samples[0] != 120 || samples[1] != 30 {
+		t.Errorf("published samples = %v, want [120 30]", samples)
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	src := &countSource{}
+	tab := comm.NewTable(4)
+	latSlot := tab.Register("lat", comm.RoleLatency)
+	batchSlot := tab.Register("batch", comm.RoleBatch)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil pmu", func() { NewMonitor(nil, latSlot) })
+	mustPanic("nil slot", func() { NewMonitor(pmu.New(src, 0), nil) })
+	mustPanic("batch slot", func() { NewMonitor(pmu.New(src, 0), batchSlot) })
+}

@@ -1,0 +1,300 @@
+package caer
+
+import (
+	"fmt"
+
+	"caer/internal/comm"
+	"caer/internal/machine"
+	"caer/internal/pmu"
+)
+
+// HeuristicKind selects which detection/response pairing a runtime uses:
+// the three configurations evaluated in the paper plus the hybrid
+// extension.
+type HeuristicKind int
+
+const (
+	// HeuristicShutter pairs the burst-shutter detector with the
+	// red-light/green-light response (paper §6.2).
+	HeuristicShutter HeuristicKind = iota
+	// HeuristicRule pairs the rule-based detector with the soft-locking
+	// response (paper §6.2).
+	HeuristicRule
+	// HeuristicRandom is the §6.4 accuracy baseline: random detection with
+	// a length-1 red-light/green-light response.
+	HeuristicRandom
+	// HeuristicHybrid is an extension beyond the paper: rule-based gating
+	// with burst-shutter confirmation, paired with red-light/green-light.
+	HeuristicHybrid
+)
+
+// String names the heuristic pairing.
+func (h HeuristicKind) String() string {
+	switch h {
+	case HeuristicShutter:
+		return "shutter"
+	case HeuristicRule:
+		return "rule-based"
+	case HeuristicRandom:
+		return "random"
+	case HeuristicHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("HeuristicKind(%d)", int(h))
+	}
+}
+
+// NewDetector builds the detector half of the pairing.
+func (h HeuristicKind) NewDetector(cfg Config) Detector {
+	switch h {
+	case HeuristicShutter:
+		return NewShutterDetector(cfg)
+	case HeuristicRule:
+		return NewRuleDetector(cfg)
+	case HeuristicRandom:
+		return NewRandomDetector(cfg)
+	case HeuristicHybrid:
+		return NewHybridDetector(cfg)
+	default:
+		panic(fmt.Sprintf("caer: unknown heuristic %d", int(h)))
+	}
+}
+
+// NewResponder builds the response half of the pairing.
+func (h HeuristicKind) NewResponder(cfg Config) Responder {
+	switch h {
+	case HeuristicShutter:
+		return NewRedLightGreenLight(cfg)
+	case HeuristicRule:
+		return NewSoftLock(cfg)
+	case HeuristicRandom:
+		// The paper's baseline uses red-light/green-light with length 1.
+		cfg.ResponseLength = 1
+		cfg.AdaptiveResponse = false
+		return NewRedLightGreenLight(cfg)
+	case HeuristicHybrid:
+		return NewRedLightGreenLight(cfg)
+	default:
+		panic(fmt.Sprintf("caer: unknown heuristic %d", int(h)))
+	}
+}
+
+// Actuator applies a directive to a batch application's core. The default
+// actuator pauses/resumes execution; a DVFS actuator instead drops the
+// core's frequency (the related-work alternative response, paper §7).
+type Actuator func(core *machine.Core, d comm.Directive)
+
+// PauseActuator implements the paper's throttling: DirectivePause halts
+// the core entirely.
+func PauseActuator(core *machine.Core, d comm.Directive) {
+	core.SetPaused(d == comm.DirectivePause)
+}
+
+// DVFSActuator returns an actuator that models per-core dynamic frequency
+// scaling: DirectivePause runs the core at 1/divisor speed instead of
+// halting it.
+func DVFSActuator(divisor int) Actuator {
+	if divisor < 2 {
+		panic(fmt.Sprintf("caer: DVFS divisor %d must be >= 2", divisor))
+	}
+	return func(core *machine.Core, d comm.Directive) {
+		if d == comm.DirectivePause {
+			core.SetFreqDivisor(divisor)
+		} else {
+			core.SetFreqDivisor(1)
+		}
+	}
+}
+
+// app is one hosted application.
+type app struct {
+	name string
+	core int
+	proc *machine.Process
+	slot *comm.Slot
+}
+
+// Runtime is the deployed CAER environment over a simulated machine: the
+// communication table, one CAER-M monitor per latency-sensitive
+// application, and one engine per batch application. Step runs one
+// sampling period end to end.
+type Runtime struct {
+	m     *machine.Machine
+	cfg   Config
+	kind  HeuristicKind
+	table *comm.Table
+
+	latency  []app
+	batch    []app
+	monitors []*Monitor
+	engines  []*Engine
+	enginePM []*pmu.PMU
+	actuator Actuator
+
+	relaunches int
+	started    bool
+}
+
+// Option customizes a Runtime.
+type Option func(*Runtime)
+
+// WithActuator replaces the default pause actuator.
+func WithActuator(a Actuator) Option {
+	return func(rt *Runtime) { rt.actuator = a }
+}
+
+// NewRuntime creates a CAER deployment on machine m using the given
+// heuristic pairing and configuration. Applications are added with
+// AddLatency/AddBatch before the first Step.
+func NewRuntime(m *machine.Machine, kind HeuristicKind, cfg Config, opts ...Option) *Runtime {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	rt := &Runtime{
+		m:        m,
+		cfg:      cfg,
+		kind:     kind,
+		table:    comm.NewTable(cfg.WindowSize),
+		actuator: PauseActuator,
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt
+}
+
+// Table exposes the communication table (for inspection and tests).
+func (rt *Runtime) Table() *comm.Table { return rt.table }
+
+// Heuristic returns the configured pairing.
+func (rt *Runtime) Heuristic() HeuristicKind { return rt.kind }
+
+// Engines returns the batch engines (one per batch application).
+func (rt *Runtime) Engines() []*Engine { return rt.engines }
+
+// Relaunches returns how many times completed batch applications were
+// relaunched.
+func (rt *Runtime) Relaunches() int { return rt.relaunches }
+
+// AddLatency binds a latency-sensitive application to a core under a
+// CAER-M monitor. The application itself is never modified.
+func (rt *Runtime) AddLatency(name string, core int, proc *machine.Process) {
+	rt.mustNotBeStarted()
+	rt.m.Bind(core, proc)
+	slot := rt.table.Register(name, comm.RoleLatency)
+	rt.latency = append(rt.latency, app{name: name, core: core, proc: proc, slot: slot})
+	rt.monitors = append(rt.monitors, NewMonitor(pmu.New(rt.m, core), slot))
+}
+
+// AddBatch binds a batch application to a core under a full CAER engine.
+// Engines are created lazily at the first Step so that every engine sees
+// all latency-sensitive slots regardless of registration order.
+func (rt *Runtime) AddBatch(name string, core int, proc *machine.Process) {
+	rt.mustNotBeStarted()
+	rt.m.Bind(core, proc)
+	slot := rt.table.Register(name, comm.RoleBatch)
+	rt.batch = append(rt.batch, app{name: name, core: core, proc: proc, slot: slot})
+}
+
+func (rt *Runtime) mustNotBeStarted() {
+	if rt.started {
+		panic("caer: applications must be added before the first Step")
+	}
+}
+
+func (rt *Runtime) start() {
+	if len(rt.latency) == 0 || len(rt.batch) == 0 {
+		panic("caer: runtime needs at least one latency-sensitive and one batch application")
+	}
+	neighborSlots := make([]*comm.Slot, len(rt.latency))
+	for i, a := range rt.latency {
+		neighborSlots[i] = a.slot
+	}
+	for _, b := range rt.batch {
+		eng := NewEngine(rt.kind.NewDetector(rt.cfg), rt.kind.NewResponder(rt.cfg), b.slot, neighborSlots)
+		rt.engines = append(rt.engines, eng)
+		rt.enginePM = append(rt.enginePM, pmu.New(rt.m, b.core))
+	}
+	rt.started = true
+}
+
+// Step executes one sampling period: run the machine for one period, have
+// every CAER-M monitor publish its application's sample, tick every
+// engine, combine their directives (all batch applications must react
+// together, §3.2 — any engine asserting pause pauses them all), apply the
+// combined directive through the actuator, and relaunch any batch
+// application that ran to completion (§6.1).
+func (rt *Runtime) Step() {
+	if !rt.started {
+		rt.start()
+	}
+	rt.m.RunPeriod()
+	for _, mon := range rt.monitors {
+		mon.Tick()
+	}
+	combined := comm.DirectiveRun
+	for i, eng := range rt.engines {
+		own := float64(rt.enginePM[i].ReadDelta(pmu.EventLLCMisses))
+		if eng.Tick(own) == comm.DirectivePause {
+			combined = comm.DirectivePause
+		}
+	}
+	rt.table.BroadcastDirective(combined)
+	for _, b := range rt.batch {
+		rt.actuator(rt.m.Core(b.core), combined)
+		if b.proc.Done() {
+			rt.m.Hierarchy().FlushCore(b.core)
+			b.proc.Relaunch()
+			rt.relaunches++
+		}
+	}
+}
+
+// RunUntil steps until stop returns true or maxPeriods elapse, returning
+// the number of periods executed.
+func (rt *Runtime) RunUntil(stop func() bool, maxPeriods int) int {
+	for i := 0; i < maxPeriods; i++ {
+		if stop() {
+			return i
+		}
+		rt.Step()
+	}
+	return maxPeriods
+}
+
+// LatencyProcesses returns the hosted latency-sensitive processes.
+func (rt *Runtime) LatencyProcesses() []*machine.Process {
+	out := make([]*machine.Process, len(rt.latency))
+	for i, a := range rt.latency {
+		out[i] = a.proc
+	}
+	return out
+}
+
+// BatchProcesses returns the hosted batch processes.
+func (rt *Runtime) BatchProcesses() []*machine.Process {
+	out := make([]*machine.Process, len(rt.batch))
+	for i, a := range rt.batch {
+		out[i] = a.proc
+	}
+	return out
+}
+
+// BatchCores returns the core indices hosting batch applications.
+func (rt *Runtime) BatchCores() []int {
+	out := make([]int, len(rt.batch))
+	for i, a := range rt.batch {
+		out[i] = a.core
+	}
+	return out
+}
+
+// LatencyCores returns the core indices hosting latency-sensitive
+// applications.
+func (rt *Runtime) LatencyCores() []int {
+	out := make([]int, len(rt.latency))
+	for i, a := range rt.latency {
+		out[i] = a.core
+	}
+	return out
+}

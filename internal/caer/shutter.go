@@ -1,0 +1,107 @@
+package caer
+
+import (
+	"caer/internal/comm"
+	"caer/internal/stats"
+)
+
+// ShutterDetector implements the Burst-Shutter heuristic (paper §4.1,
+// Algorithm 1). It actively probes for contention by modulating the batch
+// application itself:
+//
+//  1. Shutter: halt the batch for SwitchPoint periods and record the
+//     neighbour's last-level-cache misses — the steady average.
+//  2. Burst: run the batch at full force until EndPoint and record the
+//     neighbour's misses — the burst average.
+//  3. If the burst average exceeds the steady average by more than
+//     NoiseThresh *and* by more than ImpactFactor relatively, the batch's
+//     execution is demonstrably raising the neighbour's miss rate: assert
+//     contention.
+//
+// The ImpactFactor is the paper's QoS "knob": it directly expresses how
+// much cross-core interference the latency-sensitive application will
+// tolerate.
+type ShutterDetector struct {
+	switchPoint  int
+	endPoint     int
+	impactFactor float64
+	noiseThresh  float64
+	skip         int
+
+	count    int
+	rWindow  *stats.Window // neighbour samples for the current cycle
+	cycles   uint64        // completed detection cycles
+	verdicts [2]uint64     // [0] no-contention, [1] contention
+}
+
+// NewShutterDetector constructs the heuristic from cfg. It panics on an
+// invalid configuration.
+func NewShutterDetector(cfg Config) *ShutterDetector {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &ShutterDetector{
+		switchPoint:  cfg.SwitchPoint,
+		endPoint:     cfg.EndPoint,
+		impactFactor: cfg.ImpactFactor,
+		noiseThresh:  cfg.NoiseThresh,
+		skip:         cfg.TransientSkip,
+		rWindow:      stats.NewWindow(cfg.EndPoint),
+	}
+}
+
+// Name implements Detector.
+func (d *ShutterDetector) Name() string { return "burst-shutter" }
+
+// Step implements Detector, advancing Algorithm 1 by one period.
+func (d *ShutterDetector) Step(ownMisses, neighborMisses float64) (comm.Directive, Verdict) {
+	d.rWindow.Push(neighborMisses)
+	d.count++
+
+	if d.count < d.switchPoint {
+		// Still measuring the steady average: keep the shutter closed.
+		return comm.DirectivePause, VerdictPending
+	}
+	if d.count < d.endPoint {
+		// Burst: run the batch at full force.
+		return comm.DirectiveRun, VerdictPending
+	}
+
+	// count == endPoint: compute both averages over this cycle's samples
+	// (positions are relative to the cycle because the window length equals
+	// EndPoint and Reset clears it). Directives take effect one period after
+	// they are issued, so the sample at position 0 ran under the pre-cycle
+	// directive and belongs to neither average: the shutter (batch paused)
+	// covers positions [1, switchPoint) and the burst [switchPoint,
+	// endPoint). Each span additionally skips its first `skip` settled
+	// periods, because the shared cache takes several periods to refill
+	// (shutter) or drain (burst) after the batch's state flips — the
+	// averages are taken over the settled tails.
+	steady := d.rWindow.MeanRange(1+d.skip, d.switchPoint)
+	burst := d.rWindow.MeanRange(d.switchPoint+d.skip, d.endPoint)
+	d.cycles++
+	d.resetCycle()
+
+	if (burst-steady) > d.noiseThresh && burst > steady*(1+d.impactFactor) {
+		d.verdicts[1]++
+		return comm.DirectiveRun, VerdictContention
+	}
+	d.verdicts[0]++
+	return comm.DirectiveRun, VerdictNoContention
+}
+
+// Reset implements Detector.
+func (d *ShutterDetector) Reset() { d.resetCycle() }
+
+func (d *ShutterDetector) resetCycle() {
+	d.count = 0
+	d.rWindow.Reset()
+}
+
+// Cycles returns the number of completed shutter/burst detection cycles.
+func (d *ShutterDetector) Cycles() uint64 { return d.cycles }
+
+// VerdictCounts returns (noContention, contention) cycle counts.
+func (d *ShutterDetector) VerdictCounts() (noContention, contention uint64) {
+	return d.verdicts[0], d.verdicts[1]
+}

@@ -1,0 +1,83 @@
+//go:build linux
+
+package comm
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+const (
+	crossProcEnv = "CAER_SHM_CHILD_PATH"
+	childSlot    = 1
+	childSamples = 5
+	childBaseVal = 100
+)
+
+// TestHelperShmChild is not a real test: it is the body of the child
+// process spawned by TestShmTableCrossProcess. It attaches to the table
+// whose path arrives via the environment, publishes samples into the batch
+// slot, sets a directive, and exits.
+func TestHelperShmChild(t *testing.T) {
+	path := os.Getenv(crossProcEnv)
+	if path == "" {
+		t.Skip("helper process only")
+	}
+	tab, err := OpenShmTable(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child: %v\n", err)
+		os.Exit(3)
+	}
+	defer tab.Close()
+	for i := 0; i < childSamples; i++ {
+		tab.Publish(childSlot, float64(childBaseVal+i))
+	}
+	tab.SetDirective(childSlot, DirectivePause)
+}
+
+// TestShmTableCrossProcess exercises the communication table across a real
+// process boundary — the deployment shape of the paper's prototype, where
+// the CAER layers of separate applications cooperate via shared memory: a
+// child process (this test binary re-executed) attaches to the mmap-backed
+// table and publishes; the parent observes the samples and directive.
+func TestShmTableCrossProcess(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot find test binary: %v", err)
+	}
+	path := t.TempDir() + "/cross.tbl"
+	tab, err := CreateShmTable(path, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+	tab.SetRole(0, RoleLatency)
+	tab.SetRole(1, RoleBatch)
+	tab.Publish(0, 7) // parent's own slot
+
+	cmd := exec.Command(exe, "-test.run", "TestHelperShmChild", "-test.v")
+	cmd.Env = append(os.Environ(), crossProcEnv+"="+path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+
+	got := tab.Samples(childSlot)
+	if len(got) != childSamples {
+		t.Fatalf("parent sees %d child samples, want %d (output: %s)", len(got), childSamples, out)
+	}
+	for i, v := range got {
+		if v != float64(childBaseVal+i) {
+			t.Errorf("sample %d = %v, want %d", i, v, childBaseVal+i)
+		}
+	}
+	if tab.DirectiveOf(childSlot) != DirectivePause {
+		t.Error("child's directive not visible to parent")
+	}
+	// The parent's own slot was untouched by the child.
+	if s := tab.Samples(0); len(s) != 1 || s[0] != 7 {
+		t.Errorf("parent slot corrupted: %v", s)
+	}
+}

@@ -1,0 +1,216 @@
+//go:build linux
+
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// ShmTable is a communication table backed by a memory-mapped file, so that
+// CAER layers in *separate processes* can cooperate exactly as the paper's
+// prototype does with SysV shared memory. The layout keeps the paper's
+// single-writer discipline: each slot's sample ring is written only by the
+// CAER layer owning that slot; directives are written only by the engine.
+//
+// Layout (little-endian):
+//
+//	header:  magic u64 | windowSize u32 | slotCount u32
+//	slot[i]: role u32 | directive u32 | published u64 | head u32 | count u32 |
+//	         samples [windowSize]f64
+//
+// ShmTable methods are not synchronized across processes beyond that
+// single-writer discipline; a reader may observe a window mid-update. The
+// heuristics tolerate this (they consume noisy averages), matching the
+// lock-free table of the original system.
+type ShmTable struct {
+	f          *os.File
+	data       []byte
+	windowSize int
+	slotCount  int
+	owned      bool // created (vs attached); Close removes the file if owned
+}
+
+const (
+	shmMagic      = 0x3143_4145_5254_424c // "CAERTBL1" flavoured
+	shmHeaderSize = 16
+	slotFixedSize = 4 + 4 + 8 + 4 + 4
+)
+
+func slotStride(windowSize int) int { return slotFixedSize + 8*windowSize }
+
+// CreateShmTable creates (truncating) a file-backed table at path with the
+// given geometry and maps it.
+func CreateShmTable(path string, windowSize, slotCount int) (*ShmTable, error) {
+	if windowSize <= 0 || slotCount <= 0 {
+		return nil, fmt.Errorf("comm: invalid shm geometry window=%d slots=%d", windowSize, slotCount)
+	}
+	size := shmHeaderSize + slotCount*slotStride(windowSize)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("comm: create shm file: %w", err)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("comm: size shm file: %w", err)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("comm: mmap: %w", err)
+	}
+	t := &ShmTable{f: f, data: data, windowSize: windowSize, slotCount: slotCount, owned: true}
+	binary.LittleEndian.PutUint64(data[0:], shmMagic)
+	binary.LittleEndian.PutUint32(data[8:], uint32(windowSize))
+	binary.LittleEndian.PutUint32(data[12:], uint32(slotCount))
+	return t, nil
+}
+
+// OpenShmTable attaches to an existing table file created by
+// CreateShmTable (typically from another process).
+func OpenShmTable(path string) (*ShmTable, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("comm: open shm file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("comm: stat shm file: %w", err)
+	}
+	if st.Size() < shmHeaderSize {
+		f.Close()
+		return nil, fmt.Errorf("comm: shm file too small (%d bytes)", st.Size())
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("comm: mmap: %w", err)
+	}
+	if binary.LittleEndian.Uint64(data[0:]) != shmMagic {
+		syscall.Munmap(data)
+		f.Close()
+		return nil, fmt.Errorf("comm: %s is not a CAER table (bad magic)", path)
+	}
+	windowSize := int(binary.LittleEndian.Uint32(data[8:]))
+	slotCount := int(binary.LittleEndian.Uint32(data[12:]))
+	want := shmHeaderSize + slotCount*slotStride(windowSize)
+	if int(st.Size()) < want {
+		syscall.Munmap(data)
+		f.Close()
+		return nil, fmt.Errorf("comm: shm file truncated: %d < %d bytes", st.Size(), want)
+	}
+	return &ShmTable{f: f, data: data, windowSize: windowSize, slotCount: slotCount}, nil
+}
+
+// Close unmaps and closes the table; the creator also removes the file.
+func (t *ShmTable) Close() error {
+	var firstErr error
+	if t.data != nil {
+		if err := syscall.Munmap(t.data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		t.data = nil
+	}
+	if t.f != nil {
+		name := t.f.Name()
+		if err := t.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if t.owned {
+			if err := os.Remove(name); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		t.f = nil
+	}
+	return firstErr
+}
+
+// WindowSize returns the per-slot window capacity.
+func (t *ShmTable) WindowSize() int { return t.windowSize }
+
+// SlotCount returns the number of slots.
+func (t *ShmTable) SlotCount() int { return t.slotCount }
+
+func (t *ShmTable) slotOff(i int) int {
+	if i < 0 || i >= t.slotCount {
+		panic(fmt.Sprintf("comm: shm slot %d out of range [0,%d)", i, t.slotCount))
+	}
+	return shmHeaderSize + i*slotStride(t.windowSize)
+}
+
+// SetRole records slot i's role (done once by the registering process).
+func (t *ShmTable) SetRole(i int, r Role) {
+	binary.LittleEndian.PutUint32(t.data[t.slotOff(i):], uint32(r))
+}
+
+// RoleOf returns slot i's role.
+func (t *ShmTable) RoleOf(i int) Role {
+	return Role(binary.LittleEndian.Uint32(t.data[t.slotOff(i):]))
+}
+
+// SetDirective records slot i's directive.
+func (t *ShmTable) SetDirective(i int, d Directive) {
+	binary.LittleEndian.PutUint32(t.data[t.slotOff(i)+4:], uint32(d))
+}
+
+// DirectiveOf returns slot i's directive.
+func (t *ShmTable) DirectiveOf(i int) Directive {
+	return Directive(binary.LittleEndian.Uint32(t.data[t.slotOff(i)+4:]))
+}
+
+// Publish appends one sample to slot i's ring (single writer per slot).
+func (t *ShmTable) Publish(i int, v float64) {
+	off := t.slotOff(i)
+	published := binary.LittleEndian.Uint64(t.data[off+8:])
+	head := int(binary.LittleEndian.Uint32(t.data[off+16:]))
+	count := int(binary.LittleEndian.Uint32(t.data[off+20:]))
+	ring := off + slotFixedSize
+	if count == t.windowSize {
+		binary.LittleEndian.PutUint64(t.data[ring+8*head:], math.Float64bits(v))
+		head = (head + 1) % t.windowSize
+	} else {
+		pos := (head + count) % t.windowSize
+		binary.LittleEndian.PutUint64(t.data[ring+8*pos:], math.Float64bits(v))
+		count++
+	}
+	binary.LittleEndian.PutUint64(t.data[off+8:], published+1)
+	binary.LittleEndian.PutUint32(t.data[off+16:], uint32(head))
+	binary.LittleEndian.PutUint32(t.data[off+20:], uint32(count))
+}
+
+// Published returns slot i's lifetime sample count.
+func (t *ShmTable) Published(i int) uint64 {
+	return binary.LittleEndian.Uint64(t.data[t.slotOff(i)+8:])
+}
+
+// Samples returns a copy of slot i's windowed samples, oldest first.
+func (t *ShmTable) Samples(i int) []float64 {
+	off := t.slotOff(i)
+	head := int(binary.LittleEndian.Uint32(t.data[off+16:]))
+	count := int(binary.LittleEndian.Uint32(t.data[off+20:]))
+	ring := off + slotFixedSize
+	out := make([]float64, count)
+	for j := 0; j < count; j++ {
+		pos := (head + j) % t.windowSize
+		out[j] = math.Float64frombits(binary.LittleEndian.Uint64(t.data[ring+8*pos:]))
+	}
+	return out
+}
+
+// WindowMean returns the mean of slot i's windowed samples (0 when empty).
+func (t *ShmTable) WindowMean(i int) float64 {
+	s := t.Samples(i)
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}

@@ -1,0 +1,194 @@
+//go:build linux
+
+package comm
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestShmTableCreateAndRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "caer.tbl")
+	tab, err := CreateShmTable(path, 4, 2)
+	if err != nil {
+		t.Fatalf("CreateShmTable: %v", err)
+	}
+	defer tab.Close()
+	if tab.WindowSize() != 4 || tab.SlotCount() != 2 {
+		t.Fatalf("geometry = %d/%d, want 4/2", tab.WindowSize(), tab.SlotCount())
+	}
+	tab.SetRole(0, RoleLatency)
+	tab.SetRole(1, RoleBatch)
+	if tab.RoleOf(0) != RoleLatency || tab.RoleOf(1) != RoleBatch {
+		t.Error("roles did not round-trip")
+	}
+	for _, v := range []float64{1.5, 2.5, 3.5, 4.5, 5.5} {
+		tab.Publish(0, v)
+	}
+	if tab.Published(0) != 5 {
+		t.Errorf("Published = %d, want 5", tab.Published(0))
+	}
+	got := tab.Samples(0)
+	want := []float64{2.5, 3.5, 4.5, 5.5}
+	if len(got) != len(want) {
+		t.Fatalf("Samples len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Samples[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if m := tab.WindowMean(0); m != 4 {
+		t.Errorf("WindowMean = %v, want 4", m)
+	}
+	if s := tab.Samples(1); len(s) != 0 {
+		t.Errorf("slot 1 has %d samples, want 0", len(s))
+	}
+}
+
+func TestShmTableCrossMappingVisibility(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "caer.tbl")
+	creator, err := CreateShmTable(path, 8, 2)
+	if err != nil {
+		t.Fatalf("CreateShmTable: %v", err)
+	}
+	defer creator.Close()
+	attached, err := OpenShmTable(path)
+	if err != nil {
+		t.Fatalf("OpenShmTable: %v", err)
+	}
+	defer attached.Close()
+	if attached.WindowSize() != 8 || attached.SlotCount() != 2 {
+		t.Fatalf("attached geometry = %d/%d", attached.WindowSize(), attached.SlotCount())
+	}
+	// Writes through one mapping are visible through the other (MAP_SHARED),
+	// which is what lets two CAER processes cooperate.
+	creator.Publish(0, 42)
+	if got := attached.Samples(0); len(got) != 1 || got[0] != 42 {
+		t.Errorf("attached mapping saw %v, want [42]", got)
+	}
+	attached.SetDirective(1, DirectivePause)
+	if creator.DirectiveOf(1) != DirectivePause {
+		t.Error("directive written via attached mapping not visible to creator")
+	}
+}
+
+func TestShmTableOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenShmTable(filepath.Join(dir, "missing.tbl")); err == nil {
+		t.Error("OpenShmTable(missing) succeeded")
+	}
+	// Not a table: wrong magic.
+	path := filepath.Join(dir, "junk.tbl")
+	junk, err := CreateShmTable(path, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk.data[0] = 0xFF // corrupt magic
+	junk.Close()
+	// Closing removed the owned file; recreate junk content manually.
+	if _, err := OpenShmTable(path); err == nil {
+		t.Error("OpenShmTable on removed/corrupt file succeeded")
+	}
+}
+
+func TestShmTableGeometryValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CreateShmTable(filepath.Join(dir, "x"), 0, 1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := CreateShmTable(filepath.Join(dir, "x"), 1, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestShmTableSlotRangePanics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "caer.tbl")
+	tab, err := CreateShmTable(path, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range slot did not panic")
+		}
+	}()
+	tab.Publish(1, 0)
+}
+
+// TestShmTableMatchesInMemoryTable is a differential property test: a
+// random publish/directive sequence applied to both the mmap-backed table
+// and the in-memory Table must yield identical observable state.
+func TestShmTableMatchesInMemoryTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		window := rng.Intn(8) + 1
+		path := filepath.Join(t.TempDir(), "diff.tbl")
+		shm, err := CreateShmTable(path, window, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := NewTable(window)
+		slots := []*Slot{mem.Register("a", RoleLatency), mem.Register("b", RoleBatch)}
+		shm.SetRole(0, RoleLatency)
+		shm.SetRole(1, RoleBatch)
+
+		for op := 0; op < 200; op++ {
+			slot := rng.Intn(2)
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := float64(rng.Intn(1000))
+				shm.Publish(slot, v)
+				slots[slot].Publish(v)
+			case 2:
+				d := Directive(rng.Intn(2))
+				shm.SetDirective(slot, d)
+				slots[slot].SetDirective(d)
+			}
+			// Compare observable state.
+			for s := 0; s < 2; s++ {
+				if shm.Published(s) != slots[s].Published() {
+					t.Fatalf("trial %d op %d slot %d: published %d vs %d",
+						trial, op, s, shm.Published(s), slots[s].Published())
+				}
+				if shm.DirectiveOf(s) != slots[s].Directive() {
+					t.Fatalf("trial %d op %d slot %d: directive mismatch", trial, op, s)
+				}
+				got, want := shm.Samples(s), slots[s].Samples()
+				if len(got) != len(want) {
+					t.Fatalf("trial %d op %d slot %d: window %v vs %v", trial, op, s, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d op %d slot %d: window %v vs %v", trial, op, s, got, want)
+					}
+				}
+				if shm.WindowMean(s) != slots[s].WindowMean() {
+					t.Fatalf("trial %d op %d slot %d: mean %v vs %v",
+						trial, op, s, shm.WindowMean(s), slots[s].WindowMean())
+				}
+			}
+		}
+		shm.Close()
+	}
+}
+
+func TestShmTableCloseRemovesOwnedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "caer.tbl")
+	tab, err := CreateShmTable(path, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := OpenShmTable(path); err == nil {
+		t.Error("owned file still present after Close")
+	}
+	// Double close is safe.
+	if err := tab.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

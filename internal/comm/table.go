@@ -1,0 +1,219 @@
+// Package comm implements the CAER communication table: the shared
+// structure through which the cooperating CAER virtual layers exchange
+// per-period PMU samples and reaction directives (paper §3.2, Figure 4).
+//
+// Each registered application owns one slot. The slot's sample window is
+// single-writer (the CAER layer under that application publishes its own
+// LLC-miss samples); directives are written by the CAER engines and must be
+// honoured by every batch application. Table is safe for concurrent use;
+// ShmTable additionally backs the same layout with a memory-mapped file so
+// separate processes can cooperate, as in the paper's deployment.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"caer/internal/stats"
+)
+
+// Role classifies an application the way the paper's data centers do.
+type Role int
+
+const (
+	// RoleLatency marks a latency-sensitive application: monitored, never
+	// modified.
+	RoleLatency Role = iota
+	// RoleBatch marks a throughput-oriented batch application: monitored
+	// and throttled.
+	RoleBatch
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleLatency:
+		return "latency-sensitive"
+	case RoleBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Directive is a reaction order recorded in the table. All batch
+// applications must adhere to the current directive (paper §3.2).
+type Directive int
+
+const (
+	// DirectiveRun lets the batch application execute at full speed.
+	DirectiveRun Directive = iota
+	// DirectivePause halts the batch application for the coming period(s).
+	DirectivePause
+)
+
+// String returns the directive name.
+func (d Directive) String() string {
+	switch d {
+	case DirectiveRun:
+		return "run"
+	case DirectivePause:
+		return "pause"
+	default:
+		return fmt.Sprintf("Directive(%d)", int(d))
+	}
+}
+
+// Slot is one application's region of the table.
+type Slot struct {
+	id   int
+	name string
+	role Role
+
+	mu        sync.Mutex
+	window    *stats.Window
+	directive Directive
+	published uint64 // samples published over the slot's lifetime
+}
+
+// ID returns the slot index within its table.
+func (s *Slot) ID() int { return s.id }
+
+// Name returns the application name.
+func (s *Slot) Name() string { return s.name }
+
+// Role returns the application class.
+func (s *Slot) Role() Role { return s.role }
+
+// Publish appends one per-period sample (LLC misses during the period) to
+// the slot's window. Only the owning CAER layer calls Publish.
+func (s *Slot) Publish(llcMisses float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.window.Push(llcMisses)
+	s.published++
+}
+
+// Published returns the lifetime sample count.
+func (s *Slot) Published() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.published
+}
+
+// WindowMean returns the mean of the sample window (0 when empty).
+func (s *Slot) WindowMean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window.Mean()
+}
+
+// WindowMeanRange returns the mean of window positions [from, to); see
+// stats.Window.MeanRange.
+func (s *Slot) WindowMeanRange(from, to int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window.MeanRange(from, to)
+}
+
+// WindowLen returns the number of samples currently windowed.
+func (s *Slot) WindowLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window.Len()
+}
+
+// LastSample returns the most recent sample, or 0 if none.
+func (s *Slot) LastSample() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.window.Len() == 0 {
+		return 0
+	}
+	return s.window.Last()
+}
+
+// Samples returns a copy of the windowed samples, oldest first.
+func (s *Slot) Samples() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window.Snapshot()
+}
+
+// SetDirective records a reaction directive for this slot.
+func (s *Slot) SetDirective(d Directive) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.directive = d
+}
+
+// Directive returns the current directive.
+func (s *Slot) Directive() Directive {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.directive
+}
+
+// Table is the in-process communication table.
+type Table struct {
+	mu         sync.Mutex
+	slots      []*Slot
+	windowSize int
+}
+
+// NewTable constructs a table whose slots hold windowSize samples each.
+func NewTable(windowSize int) *Table {
+	if windowSize <= 0 {
+		panic(fmt.Sprintf("comm: window size must be positive, got %d", windowSize))
+	}
+	return &Table{windowSize: windowSize}
+}
+
+// WindowSize returns the per-slot window capacity.
+func (t *Table) WindowSize() int { return t.windowSize }
+
+// Register adds an application and returns its slot.
+func (t *Table) Register(name string, role Role) *Slot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Slot{
+		id:     len(t.slots),
+		name:   name,
+		role:   role,
+		window: stats.NewWindow(t.windowSize),
+	}
+	t.slots = append(t.slots, s)
+	return s
+}
+
+// Slots returns all registered slots in registration order.
+func (t *Table) Slots() []*Slot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Slot, len(t.slots))
+	copy(out, t.slots)
+	return out
+}
+
+// SlotsByRole returns the slots with the given role.
+func (t *Table) SlotsByRole(role Role) []*Slot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Slot
+	for _, s := range t.slots {
+		if s.role == role {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BroadcastDirective sets d on every batch slot: the paper requires all
+// batch processes to react together.
+func (t *Table) BroadcastDirective(d Directive) {
+	for _, s := range t.Slots() {
+		if s.role == RoleBatch {
+			s.SetDirective(d)
+		}
+	}
+}

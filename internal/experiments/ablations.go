@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"caer/internal/caer"
+	"caer/internal/report"
+	"caer/internal/runner"
+	"caer/internal/spec"
+)
+
+// PartitionSweep contrasts CAER's software throttling with the
+// hardware-QoS alternative the paper's related work discusses: statically
+// way-partitioning the shared cache between the latency-sensitive and
+// batch applications. Each row gives the latency app's slowdown and the
+// batch duty cycle for one partition split; the CAER rows anchor the
+// comparison.
+type PartitionSweep struct {
+	Benchmark string
+	Ways      []int     // latency app's ways of the 16
+	Slowdown  []float64 // latency slowdown at that split
+	BatchDuty []float64 // batch duty (1.0: partitioning never throttles)
+
+	ColoSlowdown                 float64 // unpartitioned sharing
+	RuleSlowdown, RuleDuty       float64 // CAER rule-based
+	ShutterSlowdown, ShutterDuty float64 // CAER shutter
+}
+
+// PartitionSweep runs the ablation for one benchmark across the given way
+// splits (each in [1, 15] of the 16-way L3).
+func (s *Suite) PartitionSweep(bench spec.Profile, ways []int) PartitionSweep {
+	s.mu.Lock()
+	s.defaults()
+	seed := s.Seed
+	cfg := s.Config
+	batch := s.Batch
+	s.mu.Unlock()
+
+	alone := s.Result(bench, runner.ModeAlone, 0)
+	out := PartitionSweep{Benchmark: bench.Name}
+	for _, w := range ways {
+		r := runner.Run(runner.Scenario{
+			Latency: bench, Batch: batch, Mode: runner.ModeNativeColo,
+			Seed: seed, Config: cfg, PartitionWays: w,
+		})
+		out.Ways = append(out.Ways, w)
+		out.Slowdown = append(out.Slowdown, runner.Slowdown(r, alone))
+		out.BatchDuty = append(out.BatchDuty, r.BatchDuty)
+	}
+	out.ColoSlowdown = runner.Slowdown(s.Result(bench, runner.ModeNativeColo, 0), alone)
+	rule := s.Result(bench, runner.ModeCAER, caer.HeuristicRule)
+	shutter := s.Result(bench, runner.ModeCAER, caer.HeuristicShutter)
+	out.RuleSlowdown, out.RuleDuty = runner.Slowdown(rule, alone), rule.BatchDuty
+	out.ShutterSlowdown, out.ShutterDuty = runner.Slowdown(shutter, alone), shutter.BatchDuty
+	return out
+}
+
+// Table returns the sweep as a table.
+func (a PartitionSweep) Table() *report.Table {
+	t := report.NewTable("configuration", "latency_slowdown", "batch_duty")
+	t.AddRow("shared L3 (native)", fmt.Sprintf("%.4f", a.ColoSlowdown), "100.0%")
+	for i, w := range a.Ways {
+		t.AddRow(fmt.Sprintf("partition %d/%d ways", w, 16-w),
+			fmt.Sprintf("%.4f", a.Slowdown[i]), report.Percent(a.BatchDuty[i]))
+	}
+	t.AddRow("CAER shutter", fmt.Sprintf("%.4f", a.ShutterSlowdown), report.Percent(a.ShutterDuty))
+	t.AddRow("CAER rule-based", fmt.Sprintf("%.4f", a.RuleSlowdown), report.Percent(a.RuleDuty))
+	return t
+}
+
+// Render writes the sweep table with a heading.
+func (a PartitionSweep) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Ablation: static L3 way-partitioning vs CAER (%s vs lbm)\n", a.Benchmark); err != nil {
+		return err
+	}
+	return a.Table().Render(w)
+}
+
+// ResponseComparison contrasts the response mechanisms on one benchmark:
+// pausing (the paper's throttle), DVFS-style down-clocking at several
+// divisors, and the adaptive red-light/green-light extension.
+type ResponseComparison struct {
+	Benchmark string
+	Rows      []ResponseRow
+}
+
+// ResponseRow is one response variant's outcome.
+type ResponseRow struct {
+	Name            string
+	Slowdown        float64
+	BatchThroughput float64 // batch instructions per period, normalized to pause=1 is not used; raw per-period
+	PausedFraction  float64
+}
+
+// ResponseComparison runs the response ablation for one benchmark.
+func (s *Suite) ResponseComparison(bench spec.Profile) ResponseComparison {
+	s.mu.Lock()
+	s.defaults()
+	seed := s.Seed
+	cfg := s.Config
+	batch := s.Batch
+	s.mu.Unlock()
+
+	alone := s.Result(bench, runner.ModeAlone, 0)
+	out := ResponseComparison{Benchmark: bench.Name}
+	add := func(name string, sc runner.Scenario) {
+		r := runner.Run(sc)
+		out.Rows = append(out.Rows, ResponseRow{
+			Name:            name,
+			Slowdown:        runner.Slowdown(r, alone),
+			BatchThroughput: float64(r.BatchInstructions) / float64(r.Periods),
+			PausedFraction:  float64(r.PausedPeriods) / float64(r.Periods),
+		})
+	}
+	base := runner.Scenario{Latency: bench, Batch: batch, Seed: seed, Config: cfg, Mode: runner.ModeCAER}
+
+	sc := base
+	sc.Heuristic = caer.HeuristicShutter
+	add("shutter + red/green(10)", sc)
+
+	adaptive := cfg
+	adaptive.AdaptiveResponse = true
+	sc = base
+	sc.Heuristic = caer.HeuristicShutter
+	sc.Config = adaptive
+	add("shutter + adaptive red/green", sc)
+
+	sc = base
+	sc.Heuristic = caer.HeuristicRule
+	add("rule + soft lock (pause)", sc)
+
+	for _, div := range []int{2, 4, 8} {
+		sc = base
+		sc.Heuristic = caer.HeuristicRule
+		sc.Actuator = caer.DVFSActuator(div)
+		add(fmt.Sprintf("rule + DVFS 1/%d", div), sc)
+	}
+	return out
+}
+
+// Table returns the comparison as a table.
+func (a ResponseComparison) Table() *report.Table {
+	t := report.NewTable("response", "latency_slowdown", "batch_instr_per_period", "throttled_fraction")
+	for _, r := range a.Rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.4f", r.Slowdown),
+			fmt.Sprintf("%.0f", r.BatchThroughput),
+			report.Percent(r.PausedFraction))
+	}
+	return t
+}
+
+// Render writes the comparison table with a heading.
+func (a ResponseComparison) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Ablation: response mechanisms (%s vs lbm)\n", a.Benchmark); err != nil {
+		return err
+	}
+	return a.Table().Render(w)
+}
+
+// TuningSweep maps the heuristic tuning space (paper §6.2's future work):
+// the shutter impact factor and the rule-based usage threshold, each
+// traded against utilization.
+type TuningSweep struct {
+	Benchmark     string
+	ImpactFactors []float64
+	ShutterRows   []TuningRow
+	UsageThreshes []float64
+	RuleRows      []TuningRow
+}
+
+// TuningRow is one knob setting's outcome.
+type TuningRow struct {
+	Knob              float64
+	Slowdown          float64
+	UtilizationGained float64
+}
+
+// TuningSweep sweeps both knobs for one benchmark.
+func (s *Suite) TuningSweep(bench spec.Profile, impacts, threshes []float64) TuningSweep {
+	s.mu.Lock()
+	s.defaults()
+	seed := s.Seed
+	base := s.Config
+	batch := s.Batch
+	s.mu.Unlock()
+
+	alone := s.Result(bench, runner.ModeAlone, 0)
+	out := TuningSweep{Benchmark: bench.Name, ImpactFactors: impacts, UsageThreshes: threshes}
+	for _, imp := range impacts {
+		cfg := base
+		cfg.ImpactFactor = imp
+		r := runner.Run(runner.Scenario{Latency: bench, Batch: batch, Seed: seed,
+			Mode: runner.ModeCAER, Heuristic: caer.HeuristicShutter, Config: cfg})
+		out.ShutterRows = append(out.ShutterRows, TuningRow{imp, runner.Slowdown(r, alone), r.BatchDuty})
+	}
+	for _, th := range threshes {
+		cfg := base
+		cfg.UsageThresh = th
+		r := runner.Run(runner.Scenario{Latency: bench, Batch: batch, Seed: seed,
+			Mode: runner.ModeCAER, Heuristic: caer.HeuristicRule, Config: cfg})
+		out.RuleRows = append(out.RuleRows, TuningRow{th, runner.Slowdown(r, alone), r.BatchDuty})
+	}
+	return out
+}
+
+// Render writes both sweep tables.
+func (a TuningSweep) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Tuning space: %s vs lbm\n\nshutter impact factor:\n", a.Benchmark); err != nil {
+		return err
+	}
+	t := report.NewTable("impact_factor", "latency_slowdown", "util_gained")
+	for _, r := range a.ShutterRows {
+		t.AddRow(fmt.Sprintf("%g", r.Knob), fmt.Sprintf("%.4f", r.Slowdown), report.Percent(r.UtilizationGained))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nrule-based usage threshold:\n"); err != nil {
+		return err
+	}
+	t = report.NewTable("usage_thresh", "latency_slowdown", "util_gained")
+	for _, r := range a.RuleRows {
+		t.AddRow(fmt.Sprintf("%g", r.Knob), fmt.Sprintf("%.4f", r.Slowdown), report.Percent(r.UtilizationGained))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"caer/internal/caer"
+	"caer/internal/report"
+	"caer/internal/runner"
+	"caer/internal/spec"
+	"caer/internal/stats"
+)
+
+// AdversarySweep validates the paper's §6.1 claim that the choice of batch
+// adversary does not change the story: "We have performed complete runs
+// using other benchmarks such as libquantum and milc and produced very
+// similar results." For each adversary it reports the mean native
+// co-location penalty and the mean CAER (rule-based) penalty across a set
+// of latency-sensitive benchmarks.
+type AdversarySweep struct {
+	Adversaries []string
+	Latency     []string
+	// ColoMean[i] / CAERMean[i] are means across the latency set when
+	// adversary i is the batch application.
+	ColoMean []float64
+	CAERMean []float64
+}
+
+// AdversarySweep runs the sweep. Adversaries that also appear in the
+// latency set are fine — they are simply run against themselves too.
+func (s *Suite) AdversarySweep(latency []spec.Profile, adversaries []spec.Profile, kind caer.HeuristicKind) AdversarySweep {
+	s.mu.Lock()
+	s.defaults()
+	seed := s.Seed
+	cfg := s.Config
+	s.mu.Unlock()
+
+	out := AdversarySweep{}
+	for _, l := range latency {
+		out.Latency = append(out.Latency, l.Name)
+	}
+	for _, adv := range adversaries {
+		out.Adversaries = append(out.Adversaries, adv.Name)
+		var colos, caers []float64
+		for _, lat := range latency {
+			alone := s.Result(lat, runner.ModeAlone, 0)
+			colo := runner.Run(runner.Scenario{
+				Latency: lat, Batch: adv, Mode: runner.ModeNativeColo, Seed: seed, Config: cfg})
+			managed := runner.Run(runner.Scenario{
+				Latency: lat, Batch: adv, Mode: runner.ModeCAER, Heuristic: kind, Seed: seed, Config: cfg})
+			colos = append(colos, runner.Slowdown(colo, alone))
+			caers = append(caers, runner.Slowdown(managed, alone))
+		}
+		out.ColoMean = append(out.ColoMean, stats.Mean(colos))
+		out.CAERMean = append(out.CAERMean, stats.Mean(caers))
+	}
+	return out
+}
+
+// Table returns the sweep as a table.
+func (a AdversarySweep) Table() *report.Table {
+	t := report.NewTable("adversary", "mean_colo_slowdown", "mean_caer_slowdown")
+	for i, adv := range a.Adversaries {
+		t.AddRow(adv, fmt.Sprintf("%.4f", a.ColoMean[i]), fmt.Sprintf("%.4f", a.CAERMean[i]))
+	}
+	return t
+}
+
+// Render writes the sweep with a heading.
+func (a AdversarySweep) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Adversary sweep (§6.1): mean slowdown across %d latency benchmarks per adversary\n", len(a.Latency)); err != nil {
+		return err
+	}
+	return a.Table().Render(w)
+}

@@ -1,0 +1,353 @@
+// Package machine models a multicore CPU executing synthetic workloads at
+// period granularity. It stands in for the paper's Intel Core i7 920
+// testbed: each core runs one application process over the shared memory
+// hierarchy of internal/mem, and a scaled "1 ms" period (60,000 cycles by
+// default) is the unit at which the CAER runtime probes counters and applies
+// throttling directives. The period is sized so that the shared cache's
+// refill time constant spans a few periods, as on the paper's hardware.
+//
+// Within a period, active cores are interleaved in small time slices so
+// that their reference streams contend in the shared L3 the way truly
+// parallel cores do.
+//
+// The machine implements pmu.Source; the CAER runtime reads counters only
+// through that interface.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"caer/internal/mem"
+	"caer/internal/pmu"
+	"caer/internal/workload"
+)
+
+// ExecProfile describes how a process turns instructions into memory
+// references and compute cycles. These are the per-benchmark execution
+// parameters (the rest of a benchmark's identity is its Generator).
+type ExecProfile struct {
+	// MemFraction is the fraction of instructions that reference memory.
+	// Must be in (0, 1].
+	MemFraction float64
+	// BaseCPI is the cycles consumed by a non-memory instruction (pipeline
+	// ILP folded in). Must be positive.
+	BaseCPI float64
+	// Instructions is the total instruction count of one run to completion;
+	// 0 means the process never completes on its own (pure batch service).
+	Instructions uint64
+}
+
+func (p ExecProfile) validate() error {
+	if !(p.MemFraction > 0 && p.MemFraction <= 1) {
+		return fmt.Errorf("machine: MemFraction %v out of (0,1]", p.MemFraction)
+	}
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("machine: BaseCPI %v must be positive", p.BaseCPI)
+	}
+	return nil
+}
+
+// Process is one application: an execution profile plus a reference
+// generator, bound to a core.
+type Process struct {
+	name    string
+	prof    ExecProfile
+	gen     workload.Generator
+	rng     *rand.Rand
+	seed    int64
+	retired uint64
+	memAcc  float64 // fractional accumulator deciding which instrs are refs
+	cpiAcc  float64 // fractional accumulator of compute cycles
+	done    bool
+	runs    int // completed runs (for relaunch accounting)
+}
+
+// NewProcess constructs a process. seed fixes all stochastic choices.
+func NewProcess(name string, prof ExecProfile, gen workload.Generator, seed int64) *Process {
+	if err := prof.validate(); err != nil {
+		panic(err.Error())
+	}
+	if gen == nil {
+		panic("machine: process needs a generator")
+	}
+	return &Process{name: name, prof: prof, gen: gen, rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Done reports whether the process has retired all its instructions.
+func (p *Process) Done() bool { return p.done }
+
+// Retired returns instructions retired in the current run.
+func (p *Process) Retired() uint64 { return p.retired }
+
+// Runs returns how many times the process ran to completion (relaunches).
+func (p *Process) Runs() int { return p.runs }
+
+// Profile returns the execution profile.
+func (p *Process) Profile() ExecProfile { return p.prof }
+
+// Relaunch restarts a completed process from scratch: generator rewound,
+// RNG reseeded, retirement reset. The paper relaunches lbm when it finishes
+// before the latency-sensitive application.
+func (p *Process) Relaunch() {
+	workload.Reset(p.gen)
+	p.rng = rand.New(rand.NewSource(p.seed))
+	p.retired = 0
+	p.memAcc = 0
+	p.cpiAcc = 0
+	p.done = false
+}
+
+// Core is one processor core: it executes at most one process and carries
+// the running/idle cycle accounting of the paper's Equation 1.
+type Core struct {
+	id       int
+	proc     *Process
+	paused   bool
+	freqDiv  int // DVFS extension: 1 = full speed, k = 1/k effective cycles
+	busy     uint64
+	idle     uint64
+	instrRet uint64 // cumulative, survives relaunches (PMU counter)
+	debt     uint64 // stall cycles carried over from an instruction that overran its slice
+}
+
+// ID returns the core number.
+func (c *Core) ID() int { return c.id }
+
+// Process returns the bound process, or nil.
+func (c *Core) Process() *Process { return c.proc }
+
+// SetPaused throttles (true) or releases (false) the core for subsequent
+// periods. This is the mechanism behind the red-light/green-light and
+// soft-locking responses.
+func (c *Core) SetPaused(p bool) { c.paused = p }
+
+// Paused reports the current throttle state.
+func (c *Core) Paused() bool { return c.paused }
+
+// SetFreqDivisor sets the DVFS-style frequency divisor (>=1). A divisor of
+// k gives the core 1/k of the period's cycles, modelling per-core dynamic
+// frequency scaling as an alternative response (paper §7, Herdrich et al.).
+func (c *Core) SetFreqDivisor(k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("machine: frequency divisor %d must be >= 1", k))
+	}
+	c.freqDiv = k
+}
+
+// FreqDivisor returns the current divisor.
+func (c *Core) FreqDivisor() int { return c.freqDiv }
+
+// BusyCycles returns cycles spent executing (R_i in Equation 1).
+func (c *Core) BusyCycles() uint64 { return c.busy }
+
+// IdleCycles returns cycles spent idle or throttled (I_i in Equation 1).
+func (c *Core) IdleCycles() uint64 { return c.idle }
+
+// Utilization returns R/(R+I) for this core, or 0 before any period.
+func (c *Core) Utilization() float64 {
+	t := c.busy + c.idle
+	if t == 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(t)
+}
+
+// Config describes a machine.
+type Config struct {
+	// Hierarchy configures the memory system; zero value uses
+	// mem.DefaultHierarchyConfig(Cores).
+	Hierarchy mem.HierarchyConfig
+	// Cores is the core count when Hierarchy is zero.
+	Cores int
+	// PeriodCycles is the scaled "1 ms" sampling period. Default 60000.
+	PeriodCycles uint64
+	// SlicesPerPeriod controls intra-period interleaving granularity.
+	// Default 600 (100-cycle slices): fine enough that concurrent cores'
+	// memory-channel reservations interleave realistically, since within a
+	// slice cores are simulated sequentially over the same wall-clock
+	// window.
+	SlicesPerPeriod int
+}
+
+// Machine is the simulated multicore CPU.
+type Machine struct {
+	hier    *mem.Hierarchy
+	cores   []*Core
+	period  uint64
+	slices  int
+	now     uint64 // absolute cycle clock
+	periods uint64 // completed periods
+}
+
+// New constructs a machine. It panics on invalid configuration.
+func New(cfg Config) *Machine {
+	h := cfg.Hierarchy
+	if h.Cores == 0 {
+		if cfg.Cores <= 0 {
+			panic("machine: config needs Cores or a Hierarchy")
+		}
+		h = mem.DefaultHierarchyConfig(cfg.Cores)
+	}
+	if cfg.PeriodCycles == 0 {
+		cfg.PeriodCycles = 60000
+	}
+	if cfg.SlicesPerPeriod == 0 {
+		cfg.SlicesPerPeriod = 600
+	}
+	if cfg.SlicesPerPeriod < 1 || cfg.PeriodCycles < uint64(cfg.SlicesPerPeriod) {
+		panic(fmt.Sprintf("machine: invalid period %d / slices %d", cfg.PeriodCycles, cfg.SlicesPerPeriod))
+	}
+	m := &Machine{
+		hier:   mem.NewHierarchy(h),
+		cores:  make([]*Core, h.Cores),
+		period: cfg.PeriodCycles,
+		slices: cfg.SlicesPerPeriod,
+	}
+	for i := range m.cores {
+		m.cores[i] = &Core{id: i, freqDiv: 1}
+	}
+	return m
+}
+
+// Hierarchy exposes the memory system.
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return len(m.cores) }
+
+// PeriodCycles returns the configured sampling period length.
+func (m *Machine) PeriodCycles() uint64 { return m.period }
+
+// Periods returns the number of completed periods.
+func (m *Machine) Periods() uint64 { return m.periods }
+
+// Now returns the absolute cycle clock.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Bind assigns proc to core i, replacing any previous process.
+func (m *Machine) Bind(i int, proc *Process) {
+	m.cores[i].proc = proc
+}
+
+// Unbind removes the process from core i.
+func (m *Machine) Unbind(i int) { m.cores[i].proc = nil }
+
+// RunPeriod advances every core by one sampling period, interleaving active
+// cores in SlicesPerPeriod time slices. Paused cores and cores whose
+// process has completed accumulate idle cycles.
+func (m *Machine) RunPeriod() {
+	sliceLen := m.period / uint64(m.slices)
+	rem := m.period - sliceLen*uint64(m.slices)
+	start := m.now
+	for s := 0; s < m.slices; s++ {
+		budget := sliceLen
+		if s == m.slices-1 {
+			budget += rem
+		}
+		sliceStart := start + uint64(s)*sliceLen
+		// Rotate the core order every slice: cores earlier in the order see
+		// the memory channel first within a slice, so a fixed order would
+		// systematically starve higher-numbered cores of bandwidth.
+		offset := (int(m.periods)*m.slices + s) % len(m.cores)
+		for i := range m.cores {
+			m.runSlice(m.cores[(i+offset)%len(m.cores)], sliceStart, budget)
+		}
+	}
+	m.now = start + m.period
+	m.periods++
+}
+
+// runSlice executes core c for budget cycles starting at absolute cycle
+// `at`, charging busy/idle accounting. An instruction whose latency
+// overruns the slice leaves the overflow as debt that subsequent slices pay
+// off before issuing new instructions, so per-instruction costs are exact
+// regardless of slice granularity.
+func (m *Machine) runSlice(c *Core, at, budget uint64) {
+	p := c.proc
+	if p == nil || p.done || c.paused {
+		c.idle += budget
+		return
+	}
+	effective := budget / uint64(c.freqDiv)
+	if effective == 0 {
+		c.idle += budget
+		return
+	}
+	if c.debt >= effective {
+		// The whole slice stalls on the in-flight instruction.
+		c.debt -= effective
+		c.busy += budget
+		return
+	}
+	used := c.debt
+	c.debt = 0
+	for used < effective && !p.done {
+		// Decide whether the next instruction is a memory reference using a
+		// deterministic fractional accumulator (keeps the mix exact).
+		p.memAcc += p.prof.MemFraction
+		var cost uint64
+		if p.memAcc >= 1 {
+			p.memAcc -= 1
+			a := p.gen.Next(p.rng)
+			res := m.hier.Access(c.id, a.Addr, a.Write, at+used)
+			cost = res.Latency
+		} else {
+			p.cpiAcc += p.prof.BaseCPI
+			cost = uint64(p.cpiAcc)
+			p.cpiAcc -= float64(cost) // sub-cycle instructions fold into the next
+		}
+		used += cost
+		p.retired++
+		c.instrRet++
+		if p.prof.Instructions > 0 && p.retired >= p.prof.Instructions {
+			p.done = true
+			p.runs++
+		}
+	}
+	if used > effective {
+		c.debt = used - effective
+		used = effective
+	}
+	c.busy += used * uint64(c.freqDiv)
+	if slack := budget - used*uint64(c.freqDiv); slack > 0 {
+		c.idle += slack
+	}
+}
+
+// ReadCounter implements pmu.Source over the simulated hardware.
+func (m *Machine) ReadCounter(core int, ev pmu.Event) uint64 {
+	switch ev {
+	case pmu.EventLLCMisses:
+		return m.hier.LLCMisses(core)
+	case pmu.EventLLCAccesses:
+		return m.hier.LLCAccesses(core)
+	case pmu.EventInstrRetired:
+		return m.cores[core].instrRet
+	case pmu.EventCycles:
+		return m.cores[core].busy
+	case pmu.EventL2Misses:
+		return m.hier.L2Misses(core)
+	default:
+		panic(fmt.Sprintf("machine: unknown PMU event %v", ev))
+	}
+}
+
+// Utilization computes the paper's Equation 1 over the first n cores:
+// U = (1/n) Σ R_i/(R_i+I_i). Passing n = Cores() covers the whole chip.
+func (m *Machine) Utilization(n int) float64 {
+	if n <= 0 || n > len(m.cores) {
+		panic(fmt.Sprintf("machine: Utilization over %d cores (machine has %d)", n, len(m.cores)))
+	}
+	var u float64
+	for i := 0; i < n; i++ {
+		u += m.cores[i].Utilization()
+	}
+	return u / float64(n)
+}

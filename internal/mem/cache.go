@@ -1,0 +1,278 @@
+package mem
+
+import "fmt"
+
+// line is one cache line's bookkeeping. Addresses are line-granular: the
+// simulator's unit address already names a 64-byte line, so tag == address.
+type line struct {
+	tag   uint64
+	owner int8
+	valid bool
+	dirty bool
+}
+
+// CacheStats aggregates per-cache event counts. Counters are cumulative
+// from construction or the last ResetStats.
+type CacheStats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	Evictions      uint64
+	CrossEvictions uint64 // evicted line's owner differed from the inserter
+	Writebacks     uint64 // dirty evictions
+	Invalidations  uint64 // lines dropped by back-invalidation
+}
+
+// HitRate returns Hits/Accesses, or 0 when no accesses occurred.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with line-granular addresses, owner
+// tracking (which core/application filled each line) and optional
+// way-partitioning. It is not safe for concurrent use; the machine model
+// serializes accesses.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	setMask  uint64
+	lines    []line // sets*ways, row-major by set
+	policy   Policy
+	stats    CacheStats
+	partLo   []int // per-owner victim range; nil when unpartitioned
+	partHi   []int
+	partUsed bool
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	Name   string
+	Sets   int // must be a power of two
+	Ways   int
+	Policy Policy // defaults to LRU when nil
+}
+
+// NewCache constructs a cache. It panics on invalid geometry so that a
+// misconfigured machine fails loudly at construction time.
+func NewCache(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %q sets must be a positive power of two, got %d", cfg.Name, cfg.Sets))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("mem: cache %q ways must be positive, got %d", cfg.Name, cfg.Ways))
+	}
+	p := cfg.Policy
+	if p == nil {
+		p = NewLRU(cfg.Sets, cfg.Ways)
+	}
+	return &Cache{
+		name:    cfg.Name,
+		sets:    cfg.Sets,
+		ways:    cfg.Ways,
+		setMask: uint64(cfg.Sets - 1),
+		lines:   make([]line, cfg.Sets*cfg.Ways),
+		policy:  p,
+	}
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineCount returns total capacity in lines.
+func (c *Cache) LineCount() int { return c.sets * c.ways }
+
+// Stats returns a copy of the cumulative counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+func (c *Cache) setOf(addr uint64) int { return int(addr & c.setMask) }
+
+func (c *Cache) lineAt(set, way int) *line { return &c.lines[set*c.ways+way] }
+
+// Lookup probes for addr without inserting. On a hit it updates replacement
+// state and the dirty bit (for writes) and returns true.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	c.stats.Accesses++
+	set := c.setOf(addr)
+	for w := 0; w < c.ways; w++ {
+		ln := c.lineAt(set, w)
+		if ln.valid && ln.tag == addr {
+			c.stats.Hits++
+			if write {
+				ln.dirty = true
+			}
+			c.policy.Touch(set, w)
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Refresh bumps addr's replacement recency if the line is present, without
+// touching hit/miss stats. An inclusive L3 uses this as a temporal hint on
+// inner-cache hits: lines that are hot in a private L1/L2 never reach the
+// L3 through demand accesses, so without hints they age to LRU and get
+// evicted (back-invalidating the private copies) by any cache-hungry
+// co-runner — the classic inclusion-victim pathology.
+func (c *Cache) Refresh(addr uint64) bool {
+	set := c.setOf(addr)
+	for w := 0; w < c.ways; w++ {
+		ln := c.lineAt(set, w)
+		if ln.valid && ln.tag == addr {
+			c.policy.Touch(set, w)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains probes for addr without touching stats or replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.setOf(addr)
+	for w := 0; w < c.ways; w++ {
+		ln := c.lineAt(set, w)
+		if ln.valid && ln.tag == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Evicted describes a line displaced by an Insert.
+type Evicted struct {
+	Addr  uint64
+	Owner int
+	Dirty bool
+	Valid bool // false when the insert filled an empty way
+}
+
+// Insert fills addr into the cache on behalf of owner, evicting a victim if
+// the set is full. It returns the displaced line so that an inclusive outer
+// cache can propagate back-invalidations. Insert does not bump access
+// counters; callers pair it with a missed Lookup.
+func (c *Cache) Insert(addr uint64, owner int, write bool) Evicted {
+	set := c.setOf(addr)
+	// Prefer an invalid way within the owner's victim range.
+	lo, hi := c.victimRange(owner)
+	for w := lo; w < hi; w++ {
+		ln := c.lineAt(set, w)
+		if !ln.valid {
+			*ln = line{tag: addr, owner: int8(owner), valid: true, dirty: write}
+			c.policy.Touch(set, w)
+			return Evicted{}
+		}
+	}
+	w := c.policy.Victim(set, lo, hi)
+	ln := c.lineAt(set, w)
+	ev := Evicted{Addr: ln.tag, Owner: int(ln.owner), Dirty: ln.dirty, Valid: true}
+	c.stats.Evictions++
+	if int(ln.owner) != owner {
+		c.stats.CrossEvictions++
+	}
+	if ln.dirty {
+		c.stats.Writebacks++
+	}
+	*ln = line{tag: addr, owner: int8(owner), valid: true, dirty: write}
+	c.policy.Touch(set, w)
+	return ev
+}
+
+// Invalidate drops addr if present, returning whether it was held and
+// whether it was dirty. Used for inclusive back-invalidation.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set := c.setOf(addr)
+	for w := 0; w < c.ways; w++ {
+		ln := c.lineAt(set, w)
+		if ln.valid && ln.tag == addr {
+			c.stats.Invalidations++
+			present, dirty = true, ln.dirty
+			*ln = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line (stats for invalidations are not bumped; this
+// models a context switch / relaunch, not coherence traffic).
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// FlushOwner invalidates every line belonging to owner. Used when a batch
+// application finishes and is relaunched.
+func (c *Cache) FlushOwner(owner int) {
+	for i := range c.lines {
+		if c.lines[i].valid && int(c.lines[i].owner) == owner {
+			c.lines[i] = line{}
+		}
+	}
+}
+
+// OwnerOccupancy returns the number of valid lines held per owner id.
+// Owners outside [0, maxOwner) are ignored.
+func (c *Cache) OwnerOccupancy(maxOwner int) []int {
+	occ := make([]int, maxOwner)
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && int(ln.owner) >= 0 && int(ln.owner) < maxOwner {
+			occ[ln.owner]++
+		}
+	}
+	return occ
+}
+
+// SetWayPartition restricts owner's evictions to ways [loWay, hiWay). Other
+// owners keep the full range unless also partitioned. Passing an invalid
+// range panics. This implements the static way-partitioning ablation
+// (hardware cache QoS, cf. the paper's related work).
+func (c *Cache) SetWayPartition(owner, loWay, hiWay int) {
+	if owner < 0 || owner > 127 {
+		panic(fmt.Sprintf("mem: partition owner %d out of range", owner))
+	}
+	if loWay < 0 || hiWay > c.ways || loWay >= hiWay {
+		panic(fmt.Sprintf("mem: partition range [%d,%d) invalid for %d ways", loWay, hiWay, c.ways))
+	}
+	if c.partLo == nil || owner >= len(c.partLo) {
+		nlo := make([]int, owner+1)
+		nhi := make([]int, owner+1)
+		for i := range nhi {
+			nhi[i] = c.ways
+		}
+		copy(nlo, c.partLo)
+		if c.partHi != nil {
+			copy(nhi, c.partHi)
+		}
+		c.partLo, c.partHi = nlo, nhi
+	}
+	c.partLo[owner], c.partHi[owner] = loWay, hiWay
+	c.partUsed = true
+}
+
+// ClearWayPartitions removes all partitioning.
+func (c *Cache) ClearWayPartitions() {
+	c.partLo, c.partHi = nil, nil
+	c.partUsed = false
+}
+
+func (c *Cache) victimRange(owner int) (lo, hi int) {
+	if !c.partUsed || owner < 0 || owner >= len(c.partLo) {
+		return 0, c.ways
+	}
+	return c.partLo[owner], c.partHi[owner]
+}

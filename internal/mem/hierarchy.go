@@ -1,0 +1,235 @@
+package mem
+
+import "fmt"
+
+// AccessResult reports where an access was satisfied and its cost.
+type AccessResult struct {
+	Latency uint64 // total cycles for this access
+	Level   Level  // level that satisfied the access
+}
+
+// Level identifies where in the hierarchy an access hit.
+type Level int
+
+// Hierarchy levels, innermost first.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelMemory
+)
+
+// String returns the conventional level name.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMemory:
+		return "MEM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// HierarchyConfig describes a private-L1/private-L2/shared-inclusive-L3
+// hierarchy for a given number of cores, mirroring Nehalem's topology at a
+// documented scale (see DESIGN.md §6).
+type HierarchyConfig struct {
+	Cores int
+
+	L1Sets, L1Ways int
+	L2Sets, L2Ways int
+	L3Sets, L3Ways int
+
+	// Hit latencies per level, in cycles. L1 latency is charged on every
+	// memory instruction; deeper latencies are charged additionally on
+	// misses above them.
+	L1Latency, L2Latency, L3Latency uint64
+
+	Memory MemoryConfig
+
+	// L3Policy optionally overrides the shared cache's replacement policy
+	// factory; nil means true LRU.
+	L3Policy func(sets, ways int) Policy
+
+	// DisableL2Hints turns off the temporal hints that L2 hits send to the
+	// L3 replacement state. With hints off, lines hot in a private cache
+	// age to LRU in the inclusive L3 and are back-invalidated by any
+	// streaming co-runner (the inclusion-victim pathology); hints model the
+	// protection that miss overlap and hardware mitigations give such lines
+	// on real machines.
+	DisableL2Hints bool
+}
+
+// DefaultHierarchyConfig returns the scaled Nehalem-like configuration used
+// throughout the evaluation: 8 KB/4-way L1, 64 KB/8-way L2, shared inclusive
+// 512 KB/16-way L3 (64 B lines), 1/6/16-cycle hit latencies and 50-cycle
+// memory behind a single channel with a 40-cycle service time.
+//
+// Latencies are deliberately compressed relative to wall-clock hardware
+// ratios: cores here block on every miss, whereas the paper's out-of-order
+// Nehalem overlaps much of a miss's latency with independent work, so the
+// *effective* stall per miss — the quantity that shapes Figures 1 and 6 —
+// is a fraction of the raw DRAM latency.
+//
+// The channel service time makes bandwidth a secondary contention channel:
+// a lone streamer (lbm) leaves plenty of headroom, while several heavy
+// missers queue moderately — reproducing the bandwidth component of
+// cross-core interference that capacity sharing alone cannot model.
+func DefaultHierarchyConfig(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores: cores,
+		// 64B lines: 8KB/4w -> 32 sets; 64KB/8w -> 128 sets; 512KB/16w -> 512 sets.
+		L1Sets: 32, L1Ways: 4,
+		L2Sets: 128, L2Ways: 8,
+		L3Sets: 512, L3Ways: 16,
+		L1Latency: 1, L2Latency: 6, L3Latency: 16,
+		Memory: MemoryConfig{LatencyCycles: 50, ServiceCycles: 40},
+	}
+}
+
+// Hierarchy is the full multicore memory system. Core i owns private caches
+// l1[i], l2[i]; all cores share the inclusive l3. Not safe for concurrent
+// use.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1  []*Cache
+	l2  []*Cache
+	l3  *Cache
+	mem *MainMemory
+
+	// Per-core counters the PMU exposes.
+	llcMisses   []uint64
+	llcAccesses []uint64
+	l2Misses    []uint64
+}
+
+// NewHierarchy builds the hierarchy. It panics on invalid configuration.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("mem: hierarchy needs at least one core, got %d", cfg.Cores))
+	}
+	h := &Hierarchy{
+		cfg:         cfg,
+		l1:          make([]*Cache, cfg.Cores),
+		l2:          make([]*Cache, cfg.Cores),
+		mem:         NewMainMemory(cfg.Memory),
+		llcMisses:   make([]uint64, cfg.Cores),
+		llcAccesses: make([]uint64, cfg.Cores),
+		l2Misses:    make([]uint64, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1[i] = NewCache(Config{Name: fmt.Sprintf("L1.%d", i), Sets: cfg.L1Sets, Ways: cfg.L1Ways})
+		h.l2[i] = NewCache(Config{Name: fmt.Sprintf("L2.%d", i), Sets: cfg.L2Sets, Ways: cfg.L2Ways})
+	}
+	var l3pol Policy
+	if cfg.L3Policy != nil {
+		l3pol = cfg.L3Policy(cfg.L3Sets, cfg.L3Ways)
+	}
+	h.l3 = NewCache(Config{Name: "L3", Sets: cfg.L3Sets, Ways: cfg.L3Ways, Policy: l3pol})
+	return h
+}
+
+// Cores returns the number of cores the hierarchy serves.
+func (h *Hierarchy) Cores() int { return h.cfg.Cores }
+
+// Config returns the construction-time configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L3 exposes the shared cache (for partitioning and occupancy inspection).
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// L1 returns core's private L1.
+func (h *Hierarchy) L1(core int) *Cache { return h.l1[core] }
+
+// L2 returns core's private L2.
+func (h *Hierarchy) L2(core int) *Cache { return h.l2[core] }
+
+// Memory exposes the main-memory model.
+func (h *Hierarchy) Memory() *MainMemory { return h.mem }
+
+// Access performs one memory reference by core to line address addr at
+// absolute cycle now, updating all levels (fills on misses, inclusive
+// back-invalidation on L3 evictions) and the per-core LLC counters.
+func (h *Hierarchy) Access(core int, addr uint64, write bool, now uint64) AccessResult {
+	lat := h.cfg.L1Latency
+	if h.l1[core].Lookup(addr, write) {
+		return AccessResult{Latency: lat, Level: LevelL1}
+	}
+	lat += h.cfg.L2Latency
+	if h.l2[core].Lookup(addr, write) {
+		h.fillL1(core, addr, write)
+		if !h.cfg.DisableL2Hints {
+			h.l3.Refresh(addr)
+		}
+		return AccessResult{Latency: lat, Level: LevelL2}
+	}
+	h.l2Misses[core]++
+	lat += h.cfg.L3Latency
+	h.llcAccesses[core]++
+	if h.l3.Lookup(addr, write) {
+		h.fillL2(core, addr, write)
+		h.fillL1(core, addr, write)
+		return AccessResult{Latency: lat, Level: LevelL3}
+	}
+	// LLC miss: go to memory, fill all levels inward.
+	h.llcMisses[core]++
+	lat += h.mem.Access(now)
+	if ev := h.l3.Insert(addr, core, write); ev.Valid {
+		h.backInvalidate(ev.Addr)
+	}
+	h.fillL2(core, addr, write)
+	h.fillL1(core, addr, write)
+	return AccessResult{Latency: lat, Level: LevelMemory}
+}
+
+func (h *Hierarchy) fillL1(core int, addr uint64, write bool) {
+	// Private-cache evictions need no back-invalidation (L3 is inclusive,
+	// so the line is still present there).
+	h.l1[core].Insert(addr, core, write)
+}
+
+func (h *Hierarchy) fillL2(core int, addr uint64, write bool) {
+	h.l2[core].Insert(addr, core, write)
+}
+
+// backInvalidate enforces inclusion: a line evicted from L3 must leave
+// every private cache.
+func (h *Hierarchy) backInvalidate(addr uint64) {
+	for i := 0; i < h.cfg.Cores; i++ {
+		h.l1[i].Invalidate(addr)
+		h.l2[i].Invalidate(addr)
+	}
+}
+
+// LLCMisses returns core's cumulative LLC (L3) miss count. This is the
+// counter a PMU LLC_MISSES event reads.
+func (h *Hierarchy) LLCMisses(core int) uint64 { return h.llcMisses[core] }
+
+// LLCAccesses returns core's cumulative L3 accesses (L2 misses that reached
+// the shared cache).
+func (h *Hierarchy) LLCAccesses(core int) uint64 { return h.llcAccesses[core] }
+
+// L2Misses returns core's cumulative private-L2 miss count.
+func (h *Hierarchy) L2Misses(core int) uint64 { return h.l2Misses[core] }
+
+// FlushCore empties core's private caches and its lines in the shared L3
+// (models process teardown when a batch application is relaunched).
+func (h *Hierarchy) FlushCore(core int) {
+	h.l1[core].Flush()
+	h.l2[core].Flush()
+	h.l3.FlushOwner(core)
+}
+
+// ResetCounters zeroes the per-core counters without disturbing contents.
+func (h *Hierarchy) ResetCounters() {
+	for i := range h.llcMisses {
+		h.llcMisses[i] = 0
+		h.llcAccesses[i] = 0
+		h.l2Misses[i] = 0
+	}
+}

@@ -1,0 +1,154 @@
+// Package mem implements the scaled multicore memory hierarchy that stands
+// in for the paper's Intel Core i7 920 (Nehalem): per-core private L1 and L2
+// caches and a shared, inclusive, 16-way last-level cache (L3), all
+// set-associative with pluggable replacement policies, plus a main-memory
+// model with optional bandwidth contention.
+//
+// Contention in this model is emergent, exactly as on real hardware: two
+// reference streams that both exceed their private caches compete for L3
+// sets and evict each other's lines, which raises both of their LLC miss
+// counts — the signal the CAER heuristics consume.
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy selects replacement victims within one cache set. Implementations
+// hold per-set state indexed by (set, way).
+type Policy interface {
+	// Touch records a hit or fill of the given way in the given set.
+	Touch(set, way int)
+	// Victim returns the way to evict from the set. The candidate ways are
+	// the half-open range [loWay, hiWay) to support way-partitioning; for an
+	// unpartitioned cache the range covers every way.
+	Victim(set, loWay, hiWay int) int
+	// Name identifies the policy in stats output.
+	Name() string
+}
+
+// lruPolicy implements true LRU with per-line timestamps.
+type lruPolicy struct {
+	stamp [][]uint64
+	tick  uint64
+}
+
+// NewLRU returns a least-recently-used replacement policy for a cache with
+// the given geometry.
+func NewLRU(sets, ways int) Policy {
+	p := &lruPolicy{stamp: make([][]uint64, sets)}
+	for i := range p.stamp {
+		p.stamp[i] = make([]uint64, ways)
+	}
+	return p
+}
+
+func (p *lruPolicy) Name() string { return "lru" }
+
+func (p *lruPolicy) Touch(set, way int) {
+	p.tick++
+	p.stamp[set][way] = p.tick
+}
+
+func (p *lruPolicy) Victim(set, loWay, hiWay int) int {
+	victim := loWay
+	best := p.stamp[set][loWay]
+	for w := loWay + 1; w < hiWay; w++ {
+		if p.stamp[set][w] < best {
+			best = p.stamp[set][w]
+			victim = w
+		}
+	}
+	return victim
+}
+
+// plruPolicy implements tree pseudo-LRU (the approximation real L3s use).
+// Each set keeps ways-1 tree bits; Touch flips bits along the path to the
+// accessed way, Victim follows the bits to a leaf.
+type plruPolicy struct {
+	bits [][]bool
+	ways int
+}
+
+// NewTreePLRU returns a tree pseudo-LRU policy. ways must be a power of two.
+func NewTreePLRU(sets, ways int) Policy {
+	if ways&(ways-1) != 0 || ways == 0 {
+		panic(fmt.Sprintf("mem: tree PLRU requires power-of-two ways, got %d", ways))
+	}
+	p := &plruPolicy{bits: make([][]bool, sets), ways: ways}
+	for i := range p.bits {
+		p.bits[i] = make([]bool, ways-1)
+	}
+	return p
+}
+
+func (p *plruPolicy) Name() string { return "tree-plru" }
+
+func (p *plruPolicy) Touch(set, way int) {
+	// Walk from root; at each level, point the bit AWAY from the touched way.
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			p.bits[set][node] = true // true: next victim on the right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			p.bits[set][node] = false // false: next victim on the left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (p *plruPolicy) Victim(set, loWay, hiWay int) int {
+	// Partitioned victim selection falls back to scanning the subrange with
+	// the tree as a tie-breaker; the common case is the full range.
+	if loWay != 0 || hiWay != p.ways {
+		// Follow tree but clamp into [loWay, hiWay).
+		v := p.victimFull(set)
+		if v >= loWay && v < hiWay {
+			return v
+		}
+		return loWay + (v % (hiWay - loWay))
+	}
+	return p.victimFull(set)
+}
+
+func (p *plruPolicy) victimFull(set int) int {
+	node := 0
+	lo, hi := 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.bits[set][node] { // right
+			node = 2*node + 2
+			lo = mid
+		} else { // left
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// randomPolicy evicts a uniformly random way; cheap and stateless, used as a
+// control in replacement-policy ablations.
+type randomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy returns a random-replacement policy seeded for
+// reproducibility.
+func NewRandomPolicy(seed int64) Policy {
+	return &randomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *randomPolicy) Name() string { return "random" }
+
+func (p *randomPolicy) Touch(set, way int) {}
+
+func (p *randomPolicy) Victim(set, loWay, hiWay int) int {
+	return loWay + p.rng.Intn(hiWay-loWay)
+}

@@ -1,0 +1,81 @@
+//go:build linux
+
+package perf
+
+import (
+	"testing"
+	"unsafe"
+
+	"caer/internal/pmu"
+)
+
+func TestAttrStructSize(t *testing.T) {
+	// PERF_ATTR_SIZE_VER5 is 112 bytes; a mismatch means the kernel would
+	// reject or misread the struct.
+	if got := unsafe.Sizeof(perfEventAttr{}); got != 112 {
+		t.Fatalf("perfEventAttr size = %d, want 112 (PERF_ATTR_SIZE_VER5)", got)
+	}
+}
+
+func TestEventConfigMapping(t *testing.T) {
+	cases := []struct {
+		ev  pmu.Event
+		cfg uint64
+		ok  bool
+	}{
+		{pmu.EventLLCMisses, hwCacheMisses, true},
+		{pmu.EventLLCAccesses, hwCacheReferences, true},
+		{pmu.EventInstrRetired, hwInstructions, true},
+		{pmu.EventCycles, hwCPUCycles, true},
+		{pmu.EventL2Misses, 0, false},
+	}
+	for _, c := range cases {
+		cfg, ok := eventConfig(c.ev)
+		if ok != c.ok || (ok && cfg != c.cfg) {
+			t.Errorf("eventConfig(%v) = (%d,%v), want (%d,%v)", c.ev, cfg, ok, c.cfg, c.ok)
+		}
+	}
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	if _, err := NewSource(nil, []pmu.Event{pmu.EventCycles}); err == nil {
+		t.Error("no CPUs accepted")
+	}
+	if _, err := NewSource([]int{0}, nil); err == nil {
+		t.Error("no events accepted")
+	}
+}
+
+// TestRealCounters exercises the full path against the host PMU when the
+// environment permits it (most containers and locked-down kernels do not;
+// the test skips there, keeping the suite hermetic).
+func TestRealCounters(t *testing.T) {
+	src, err := NewSource([]int{0}, []pmu.Event{pmu.EventInstrRetired, pmu.EventCycles})
+	if err != nil {
+		t.Skipf("hardware counters unavailable: %v", err)
+	}
+	defer src.Close()
+	p := pmu.New(src, 0)
+	// Burn some user-mode cycles so the counters move.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if d := p.ReadDelta(pmu.EventInstrRetired); d == 0 {
+		t.Error("instruction counter did not advance")
+	}
+}
+
+func TestOpenCounterUnknownEvent(t *testing.T) {
+	if _, err := OpenCounter(pmu.EventL2Misses, 0); err == nil {
+		t.Error("unmapped event accepted")
+	}
+}
+
+func TestCounterDoubleCloseSafe(t *testing.T) {
+	c := &Counter{fd: -1}
+	if err := c.Close(); err != nil {
+		t.Errorf("closing a closed counter errored: %v", err)
+	}
+}

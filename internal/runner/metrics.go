@@ -1,0 +1,54 @@
+package runner
+
+import "fmt"
+
+// Slowdown returns r's execution-time penalty relative to the alone run:
+// T_r / T_alone (1.0 means no cross-core interference). This is the y-axis
+// of the paper's Figures 1 and 6.
+func Slowdown(r, alone Result) float64 {
+	if alone.Periods == 0 {
+		panic("runner: alone run has zero periods")
+	}
+	return float64(r.Periods) / float64(alone.Periods)
+}
+
+// Overhead returns the cross-core interference penalty as a fraction:
+// Slowdown − 1 (the paper's "overhead due to contention").
+func Overhead(r, alone Result) float64 { return Slowdown(r, alone) - 1 }
+
+// UtilizationGained returns the extra chip utilization co-location buys
+// over running the latency-sensitive application alone — the batch core's
+// duty cycle, the y-axis of the paper's Figure 7.
+func UtilizationGained(r Result) float64 { return r.BatchDuty }
+
+// InterferenceEliminated returns the fraction of the native co-location
+// penalty that a managed run removes (Figure 8):
+//
+//	1 − (T_caer − T_alone) / (T_colo − T_alone)
+//
+// 1.0 means the managed run is as fast as running alone; 0 means it is as
+// slow as unmanaged co-location. Values outside [0,1] are possible (a
+// heuristic can, in principle, do worse than native) and are reported
+// as-is. It panics when native co-location shows no penalty at all, since
+// the metric is undefined there.
+func InterferenceEliminated(caer, colo, alone Result) float64 {
+	num := float64(caer.Periods) - float64(alone.Periods)
+	den := float64(colo.Periods) - float64(alone.Periods)
+	if den <= 0 {
+		panic(fmt.Sprintf("runner: no native co-location penalty (colo=%d alone=%d periods)", colo.Periods, alone.Periods))
+	}
+	return 1 - num/den
+}
+
+// Accuracy is the paper's Equation 2: A = U_h / U_r − 1, comparing a
+// heuristic's utilization gain against the random baseline's. For
+// interference-sensitive applications a correct heuristic sacrifices more
+// utilization than random (A < 0); for insensitive ones it gains more
+// (A > 0). An inversion signals false negatives/positives (§6.4).
+func Accuracy(heuristic, random Result) float64 {
+	ur := UtilizationGained(random)
+	if ur == 0 {
+		panic("runner: random baseline gained zero utilization")
+	}
+	return UtilizationGained(heuristic)/ur - 1
+}

@@ -1,0 +1,233 @@
+// Package runner executes the paper's co-location scenarios end to end and
+// extracts the evaluation metrics: a latency-sensitive benchmark runs to
+// completion on core 0 (its wall-clock period count is the figure of
+// merit), optionally next to a batch application on core 1 that is either
+// unmanaged (native co-location), managed by a CAER heuristic, or absent
+// (the baseline the paper's "disallow co-location" policy corresponds to).
+//
+// The batch application is relaunched whenever it finishes before the
+// latency-sensitive application, exactly as the paper's scripts do with
+// lbm (§6.1).
+package runner
+
+import (
+	"fmt"
+
+	"caer/internal/caer"
+	"caer/internal/machine"
+	"caer/internal/pmu"
+	"caer/internal/spec"
+)
+
+// Mode distinguishes the three ways a scenario can run.
+type Mode int
+
+const (
+	// ModeAlone runs only the latency-sensitive application (the
+	// disallow-co-location policy).
+	ModeAlone Mode = iota
+	// ModeNativeColo co-locates both applications with no runtime.
+	ModeNativeColo
+	// ModeCAER co-locates both applications under a CAER heuristic.
+	ModeCAER
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAlone:
+		return "alone"
+	case ModeNativeColo:
+		return "native-colo"
+	case ModeCAER:
+		return "caer"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Scenario describes one co-location experiment.
+type Scenario struct {
+	// Latency is the latency-sensitive benchmark (runs to completion).
+	Latency spec.Profile
+	// Batch is the throughput adversary; zero value means lbm.
+	Batch spec.Profile
+	// Mode selects alone / native / CAER execution.
+	Mode Mode
+	// Heuristic selects the CAER pairing when Mode == ModeCAER.
+	Heuristic caer.HeuristicKind
+	// Config is the CAER configuration; zero value means caer.DefaultConfig.
+	Config caer.Config
+	// Seed drives all stochastic choices. The latency app uses Seed, the
+	// batch app Seed+1.
+	Seed int64
+	// Cores sizes the machine; zero means 2 (the paper's prototype shape:
+	// one latency-sensitive + one batch).
+	Cores int
+	// MaxPeriods bounds the run as a safety valve; zero means 10,000,000.
+	MaxPeriods int
+	// Actuator optionally replaces the pause actuator (DVFS extension).
+	Actuator caer.Actuator
+	// PartitionWays statically way-partitions the shared L3: the latency
+	// application gets PartitionWays ways, the batch application the rest.
+	// This is the hardware-QoS ablation (cf. the paper's related work on
+	// cache partitioning); 0 disables partitioning. Only meaningful for
+	// co-located modes.
+	PartitionWays int
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Batch.Name == "" {
+		s.Batch = spec.LBM()
+	}
+	if s.Config.WindowSize == 0 {
+		s.Config = caer.DefaultConfig()
+	}
+	if s.Cores == 0 {
+		s.Cores = 2
+	}
+	if s.MaxPeriods == 0 {
+		s.MaxPeriods = 10_000_000
+	}
+	return s
+}
+
+// batchBase places the batch application's footprint far from the latency
+// application's (they are separate processes and share no data).
+const batchBase = 1 << 28
+
+// Result is one scenario's outcome.
+type Result struct {
+	Scenario Scenario
+
+	// Periods is the latency-sensitive application's wall-clock run length
+	// in sampling periods — the paper's execution-time metric.
+	Periods uint64
+	// Completed reports whether the latency app finished within MaxPeriods.
+	Completed bool
+
+	// LatencyInstructions / LatencyMisses are the latency app's totals.
+	LatencyInstructions uint64
+	LatencyMisses       uint64
+	// BatchInstructions / BatchMisses are the batch app's totals over the
+	// same wall-clock window (0 in ModeAlone).
+	BatchInstructions uint64
+	BatchMisses       uint64
+
+	// BatchDuty is the batch core's R/(R+I) over the run — the paper's
+	// "utilization gained" by allowing co-location (0 in ModeAlone, 1 in
+	// unmanaged co-location).
+	BatchDuty float64
+	// ChipUtilization is Equation 1 over the occupied cores.
+	ChipUtilization float64
+
+	// Engine decision counters (CAER runs only).
+	CPositive, CNegative, PausedPeriods uint64
+	// DecisionLog holds the engine's most recent decisions (CAER runs
+	// only; bounded by the engine's log capacity).
+	DecisionLog []caer.Event
+	// Relaunches counts batch restarts.
+	Relaunches int
+}
+
+// Run executes the scenario to completion (or MaxPeriods) and returns the
+// result.
+func Run(s Scenario) Result {
+	s = s.withDefaults()
+	switch s.Mode {
+	case ModeAlone:
+		return runAlone(s)
+	case ModeNativeColo:
+		return runNative(s)
+	case ModeCAER:
+		return runCAER(s)
+	default:
+		panic(fmt.Sprintf("runner: unknown mode %d", int(s.Mode)))
+	}
+}
+
+func newMachine(s Scenario) *machine.Machine {
+	m := machine.New(machine.Config{Cores: s.Cores})
+	if s.PartitionWays > 0 {
+		l3 := m.Hierarchy().L3()
+		if s.PartitionWays >= l3.Ways() {
+			panic(fmt.Sprintf("runner: partition of %d ways leaves none for the batch (L3 has %d)", s.PartitionWays, l3.Ways()))
+		}
+		l3.SetWayPartition(0, 0, s.PartitionWays)
+		for core := 1; core < s.Cores; core++ {
+			l3.SetWayPartition(core, s.PartitionWays, l3.Ways())
+		}
+	}
+	return m
+}
+
+func runAlone(s Scenario) Result {
+	m := newMachine(s)
+	lat := s.Latency.NewProcess(0, s.Seed)
+	m.Bind(0, lat)
+	res := Result{Scenario: s}
+	for p := 0; p < s.MaxPeriods && !lat.Done(); p++ {
+		m.RunPeriod()
+	}
+	res.Completed = lat.Done()
+	res.Periods = m.Periods()
+	res.LatencyInstructions = lat.Retired()
+	res.LatencyMisses = m.ReadCounter(0, pmu.EventLLCMisses)
+	res.ChipUtilization = m.Utilization(2)
+	return res
+}
+
+func runNative(s Scenario) Result {
+	m := newMachine(s)
+	lat := s.Latency.NewProcess(0, s.Seed)
+	batch := s.Batch.Batch().NewProcess(batchBase, s.Seed+1)
+	m.Bind(0, lat)
+	m.Bind(1, batch)
+	res := Result{Scenario: s}
+	for p := 0; p < s.MaxPeriods && !lat.Done(); p++ {
+		m.RunPeriod()
+		if batch.Done() {
+			m.Hierarchy().FlushCore(1)
+			batch.Relaunch()
+			res.Relaunches++
+		}
+	}
+	res.Completed = lat.Done()
+	res.Periods = m.Periods()
+	res.LatencyInstructions = lat.Retired()
+	res.LatencyMisses = m.ReadCounter(0, pmu.EventLLCMisses)
+	res.BatchInstructions = m.ReadCounter(1, pmu.EventInstrRetired)
+	res.BatchMisses = m.ReadCounter(1, pmu.EventLLCMisses)
+	res.BatchDuty = m.Core(1).Utilization()
+	res.ChipUtilization = m.Utilization(2)
+	return res
+}
+
+func runCAER(s Scenario) Result {
+	m := newMachine(s)
+	var opts []caer.Option
+	if s.Actuator != nil {
+		opts = append(opts, caer.WithActuator(s.Actuator))
+	}
+	rt := caer.NewRuntime(m, s.Heuristic, s.Config, opts...)
+	lat := s.Latency.NewProcess(0, s.Seed)
+	rt.AddLatency(spec.ShortName(s.Latency.Name), 0, lat)
+	rt.AddBatch(spec.ShortName(s.Batch.Name), 1, s.Batch.Batch().NewProcess(batchBase, s.Seed+1))
+	rt.RunUntil(lat.Done, s.MaxPeriods)
+	res := Result{Scenario: s}
+	res.Completed = lat.Done()
+	res.Periods = m.Periods()
+	res.LatencyInstructions = lat.Retired()
+	res.LatencyMisses = m.ReadCounter(0, pmu.EventLLCMisses)
+	res.BatchInstructions = m.ReadCounter(1, pmu.EventInstrRetired)
+	res.BatchMisses = m.ReadCounter(1, pmu.EventLLCMisses)
+	res.BatchDuty = m.Core(1).Utilization()
+	res.ChipUtilization = m.Utilization(2)
+	st := rt.Engines()[0].Stats()
+	res.CPositive = st.CPositive
+	res.CNegative = st.CNegative
+	res.PausedPeriods = st.PausedPeriods
+	res.DecisionLog = rt.Engines()[0].Log().Events()
+	res.Relaunches = rt.Relaunches()
+	return res
+}

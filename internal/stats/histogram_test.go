@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero buckets", func() { NewHistogram(0, 1, 0) })
+	mustPanic("empty range", func() { NewHistogram(1, 1, 4) })
+	mustPanic("inverted range", func() { NewHistogram(2, 1, 4) })
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // buckets of width 2
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 100} {
+		h.Add(v)
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d, want 8", h.N())
+	}
+	wantCounts := []uint64{2, 1, 1, 0, 1}
+	for i, want := range wantCounts {
+		c, lo, hi := h.Bucket(i)
+		if c != want {
+			t.Errorf("bucket %d [%v,%v) = %d, want %d", i, lo, hi, c, want)
+		}
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("outliers = %d,%d, want 1,2", under, over)
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+}
+
+func TestHistogramBucketRangePanics(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range bucket did not panic")
+		}
+	}()
+	h.Bucket(2)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	cases := []struct{ q, want, tol float64 }{
+		{0.5, 50, 2},
+		{0.9, 90, 2},
+		{0.0, 0, 1},
+		{1.0, 100, 1},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("Quantile(%v) = %v, want %v±%v", c.q, got, c.want, c.tol)
+		}
+	}
+	if got := NewHistogram(0, 1, 2).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("quantile > 1 did not panic")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(-5)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(9)
+	var sb strings.Builder
+	if err := h.Render(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "< min") || !strings.Contains(out, ">= max") {
+		t.Errorf("outlier rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "##########") {
+		t.Errorf("peak bucket bar not full width:\n%s", out)
+	}
+}
+
+// Property: bucket counts plus outliers always equal N, and quantiles are
+// monotone in q.
+func TestHistogramInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-50, 50, 20)
+		n := int(nRaw % 500)
+		for i := 0; i < n; i++ {
+			h.Add(rng.NormFloat64() * 40)
+		}
+		var sum uint64
+		for i := 0; i < h.Buckets(); i++ {
+			c, _, _ := h.Bucket(i)
+			sum += c
+		}
+		under, over := h.Outliers()
+		if sum+under+over != h.N() {
+			return false
+		}
+		prev := h.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

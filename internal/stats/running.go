@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// Running accumulates streaming summary statistics (count, mean, variance,
+// min, max) without storing samples, using Welford's algorithm for numerical
+// stability. The zero value is an empty accumulator ready for use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (r *Running) Add(v float64) {
+	r.n++
+	if r.n == 1 {
+		r.mean = v
+		r.min = v
+		r.max = v
+		return
+	}
+	d := v - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (v - r.mean)
+	if v < r.min {
+		r.min = v
+	}
+	if v > r.max {
+		r.max = v
+	}
+}
+
+// N returns the number of samples added.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean, or 0 when empty.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the minimum sample, or 0 when empty.
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the maximum sample, or 0 when empty.
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Reset returns the accumulator to its empty state.
+func (r *Running) Reset() { *r = Running{} }
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]: higher alpha weights recent samples more heavily. The
+// zero value is invalid; construct with NewEWMA.
+//
+// The adaptive red-light/green-light response uses an EWMA of detection
+// outcomes to decide whether detections are "consistently producing the
+// same result" (paper §5).
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor.
+// It panics unless 0 < alpha <= 1.
+func NewEWMA(alpha float64) *EWMA {
+	if !(alpha > 0 && alpha <= 1) {
+		panic("stats: EWMA alpha must be in (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one sample; the first sample primes the average.
+func (e *EWMA) Add(v float64) {
+	if !e.primed {
+		e.value = v
+		e.primed = true
+		return
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+}
+
+// Value returns the current average, or 0 before any sample.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Primed reports whether at least one sample has been added.
+func (e *EWMA) Primed() bool { return e.primed }
+
+// Reset discards state, keeping alpha.
+func (e *EWMA) Reset() { e.value, e.primed = 0, false }

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"caer/internal/machine"
+	"caer/internal/pmu"
+)
+
+// Recorder captures a machine's per-period activity into a Trace. Call
+// Tick once after each machine.RunPeriod (or runtime Step).
+type Recorder struct {
+	m     *machine.Machine
+	pmus  []*pmu.PMU
+	trace *Trace
+}
+
+// NewRecorder attaches a recorder to m, arming one PMU view per core.
+func NewRecorder(m *machine.Machine) *Recorder {
+	r := &Recorder{m: m, trace: New(m.Cores())}
+	for i := 0; i < m.Cores(); i++ {
+		r.pmus = append(r.pmus, pmu.New(m, i))
+	}
+	return r
+}
+
+// Tick records the period that just completed.
+func (r *Recorder) Tick() {
+	cores := make([]CoreSample, r.m.Cores())
+	for i := range cores {
+		cores[i] = CoreSample{
+			LLCMisses:    r.pmus[i].ReadDelta(pmu.EventLLCMisses),
+			Instructions: r.pmus[i].ReadDelta(pmu.EventInstrRetired),
+			Paused:       r.m.Core(i).Paused(),
+		}
+	}
+	r.trace.Append(r.m.Periods()-1, cores)
+}
+
+// Trace returns the recording.
+func (r *Recorder) Trace() *Trace { return r.trace }

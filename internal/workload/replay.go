@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Address-trace capture and replay: a recorded reference stream can be
+// serialized, shipped, and replayed as a Generator — so users with real
+// application traces (e.g. from a binary-instrumentation tool) can run them
+// through the machine and the CAER runtime, and synthetic streams can be
+// frozen for exactly-reproducible experiments.
+//
+// Format: magic u32 | version u8 | count u64, then per access:
+// addr u64 | flags u8 (bit 0 = write).
+
+const (
+	replayMagic   = 0xCAE2_ACCE
+	replayVersion = 1
+	// maxReplayAccesses bounds allocation against corrupt headers (2^27
+	// accesses = ~1.2 GiB in memory).
+	maxReplayAccesses = 1 << 27
+)
+
+// TraceWriter serializes a reference stream.
+type TraceWriter struct {
+	w     *bufio.Writer
+	count uint64
+	done  bool
+}
+
+// NewTraceWriter starts a trace on any plain stream. The access count is
+// written as a trailing footer by Close (rather than patched into the
+// header, which would require seeking).
+//
+// Layout: magic u32 | version u8 | accesses (addr u64, flags u8)... |
+// footer count u64.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(replayMagic)); err != nil {
+		return nil, fmt.Errorf("workload: write trace header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint8(replayVersion)); err != nil {
+		return nil, fmt.Errorf("workload: write trace header: %w", err)
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Write appends one access.
+func (t *TraceWriter) Write(a Access) error {
+	if t.done {
+		return fmt.Errorf("workload: write after Close")
+	}
+	if err := binary.Write(t.w, binary.LittleEndian, a.Addr); err != nil {
+		return err
+	}
+	var flags uint8
+	if a.Write {
+		flags = 1
+	}
+	if err := binary.Write(t.w, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of accesses written so far.
+func (t *TraceWriter) Count() uint64 { return t.count }
+
+// Close writes the footer and flushes. The writer is unusable afterwards.
+func (t *TraceWriter) Close() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	if err := binary.Write(t.w, binary.LittleEndian, t.count); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Replay is a Generator that cycles through a recorded reference stream.
+type Replay struct {
+	accesses []Access
+	pos      int
+}
+
+// ReadReplay loads a trace written by TraceWriter. The whole trace is held
+// in memory (9 bytes per access).
+func ReadReplay(r io.Reader) (*Replay, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("workload: read trace magic: %w", err)
+	}
+	if magic != replayMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %#x", magic)
+	}
+	var version uint8
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("workload: read trace version: %w", err)
+	}
+	if version != replayVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", version)
+	}
+	var accesses []Access
+	for {
+		var addr uint64
+		if err := binary.Read(br, binary.LittleEndian, &addr); err != nil {
+			return nil, fmt.Errorf("workload: truncated trace (missing footer): %w", err)
+		}
+		var flags uint8
+		if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+			// addr was actually the footer count if we are at EOF.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				if addr != uint64(len(accesses)) {
+					return nil, fmt.Errorf("workload: trace footer count %d != %d accesses", addr, len(accesses))
+				}
+				break
+			}
+			return nil, fmt.Errorf("workload: read trace access: %w", err)
+		}
+		if len(accesses) >= maxReplayAccesses {
+			return nil, fmt.Errorf("workload: trace exceeds %d accesses", maxReplayAccesses)
+		}
+		accesses = append(accesses, Access{Addr: addr, Write: flags&1 != 0})
+	}
+	if len(accesses) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return &Replay{accesses: accesses}, nil
+}
+
+// NewReplay wraps an in-memory access sequence as a cycling Generator.
+func NewReplay(accesses []Access) *Replay {
+	if len(accesses) == 0 {
+		panic("workload: replay needs at least one access")
+	}
+	cp := make([]Access, len(accesses))
+	copy(cp, accesses)
+	return &Replay{accesses: cp}
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return fmt.Sprintf("replay(%d)", len(r.accesses)) }
+
+// Len returns the trace length.
+func (r *Replay) Len() int { return len(r.accesses) }
+
+// Next implements Generator, cycling through the trace.
+func (r *Replay) Next(_ *rand.Rand) Access {
+	a := r.accesses[r.pos]
+	r.pos = (r.pos + 1) % len(r.accesses)
+	return a
+}
+
+// Reset implements Resetter.
+func (r *Replay) Reset() { r.pos = 0 }
+
+// Record captures n accesses from g (driven by rng) into a slice, e.g. to
+// freeze a synthetic stream for replay.
+func Record(g Generator, rng *rand.Rand, n int) []Access {
+	if n <= 0 {
+		panic("workload: record needs a positive access count")
+	}
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next(rng)
+	}
+	return out
+}
