@@ -1,0 +1,19 @@
+# Tier-1: the fast correctness gate (what every PR must keep green).
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier-2: build + go vet + repo-specific static analysis + race tests.
+.PHONY: check
+check:
+	./check.sh
+
+# Run only the repo-specific analyzers.
+.PHONY: vet
+vet:
+	go run ./cmd/caer-vet ./...
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem ./...

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"caer/internal/analysis"
+)
+
+// TestDriverSeededViolations runs the driver over the seeded-violation
+// testdata module and requires a non-zero exit with findings from every
+// analyzer.
+func TestDriverSeededViolations(t *testing.T) {
+	td := filepath.Join("..", "..", "internal", "analysis", "testdata", "src")
+	var out, errOut strings.Builder
+	code := run([]string{"-C", td, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d over seeded violations, want 1 (stderr: %s)", code, errOut.String())
+	}
+	for _, name := range analysis.AnalyzerNames() {
+		if !strings.Contains(out.String(), "["+name+"]") {
+			t.Errorf("driver output missing findings from %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestDriverRealTreeClean requires a zero exit over the shipped tree.
+func TestDriverRealTreeClean(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", filepath.Join("..", "..")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d over the real tree, want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+// TestDriverList checks the -list inventory.
+func TestDriverList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range analysis.AnalyzerNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+// TestDriverBadDir checks the error exit code.
+func TestDriverBadDir(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", filepath.Join("..", "..", "no-such-dir")}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d for missing directory, want 2", code)
+	}
+}

@@ -1,0 +1,215 @@
+// Package analysis implements caer-vet, a repo-specific static analysis
+// suite for the CAER runtime. The analyzers mechanically check invariants
+// the Go compiler cannot express but the paper's correctness story depends
+// on:
+//
+//   - shmaccess: the communication table (paper §3.2, Figure 4) is
+//     single-writer-per-slot shared memory; its fields must only be touched
+//     through the table API, and 64-bit atomically-accessed fields must be
+//     8-byte aligned so 32-bit platforms do not tear.
+//   - hotpath: the 1 ms sampling/detection loop must stay allocation- and
+//     syscall-light, or the runtime's own overhead drowns the contention
+//     signal it measures (the paper's §6 headline is <1% overhead).
+//   - enumswitch: switches over reaction enums (comm.Directive and friends)
+//     must be exhaustive — a default: that silently runs the batch
+//     application is a contention-response bug.
+//   - lockdiscipline: every Lock() needs a same-function Unlock, and errors
+//     returned by this module's table/IO writes must not be silently
+//     discarded.
+//
+// The suite is built entirely on the standard library (go/parser, go/ast,
+// go/types); it deliberately takes no dependency on golang.org/x/tools so
+// the repo stays self-contained. Findings can be suppressed with a
+// documented comment:
+//
+//	//caer:allow <analyzer>[,<analyzer>...] [reason]
+//
+// which applies to the line it is written on and to the line directly
+// below it (so it can trail the offending expression or sit above it).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic, positioned in the source tree.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding the way compilers do: file:line:col: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named invariant checker. Run inspects the package held by
+// the Pass and reports findings through it.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Cfg      *Config
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full caer-vet suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{ShmAccess, HotPath, EnumSwitch, LockDiscipline}
+}
+
+// AnalyzerNames returns the suite's analyzer names in stable order.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// RunAnalyzers applies the given analyzers to one loaded package and
+// returns the findings that survive //caer:allow suppression filtering.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, cfg *Config) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Cfg:      cfg,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+	findings = filterSuppressed(pkg, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// suppressionKey identifies one file line an allow comment covers.
+type suppressionKey struct {
+	file string
+	line int
+}
+
+// collectSuppressions parses //caer:allow comments across the package. The
+// returned map holds, per covered (file, line), the set of analyzer names
+// allowed there. The wildcard name "all" suppresses every analyzer.
+func collectSuppressions(pkg *Package) map[suppressionKey]map[string]bool {
+	sup := make(map[suppressionKey]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//caer:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := suppressionKey{file: pos.Filename, line: line}
+						if sup[k] == nil {
+							sup[k] = make(map[string]bool)
+						}
+						sup[k][name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// filterSuppressed drops findings covered by a //caer:allow comment.
+func filterSuppressed(pkg *Package, findings []Finding) []Finding {
+	sup := collectSuppressions(pkg)
+	if len(sup) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		allowed := sup[suppressionKey{file: f.Pos.Filename, line: f.Pos.Line}]
+		if allowed != nil && (allowed[f.Analyzer] || allowed["all"]) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// Vet loads every package named by dirs (absolute or modRoot-relative
+// package directories) and runs the analyzers over each, returning all
+// surviving findings sorted by position.
+func Vet(modRoot, modPath string, dirs []string, analyzers []*Analyzer, cfg *Config) ([]Finding, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	cfg.ModulePath = modPath
+	loader := NewLoader(modRoot, modPath)
+	var all []Finding
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil { // no buildable Go files
+			continue
+		}
+		all = append(all, RunAnalyzers(pkg, analyzers, cfg)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return all, nil
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Config parameterises the analyzers with the repo-specific inventories
+// they check against. Entries use dotted keys built from the *last element*
+// of the import path, so "comm.Slot.Publish" matches caer/internal/comm as
+// well as a testdata package named comm.
+//
+//   - "Type.Method" matches the method on any package's Type.
+//   - "pkg.Type.Method" additionally pins the package.
+//   - "pkg.Func" / "Func" match package-level functions.
+type Config struct {
+	// ModulePath is the import path of the module under analysis; set by
+	// Vet. lockdiscipline scopes its error-discard rule to functions
+	// declared inside this module.
+	ModulePath string
+
+	// CommPackages lists final import-path elements treated as the
+	// communication-table package (shared-memory owner).
+	CommPackages []string
+
+	// HotPathFuncs lists the per-period sampling/detection functions that
+	// must stay allocation- and syscall-light (paper §6: <1% overhead).
+	HotPathFuncs []string
+
+	// AllocFuncs lists snapshot/copy APIs that allocate by contract and are
+	// therefore banned inside hot-path functions.
+	AllocFuncs []string
+
+	// EnumTypes lists "pkg.Type" enums whose switches must be exhaustive.
+	EnumTypes []string
+
+	// EnumIgnorePrefixes lists constant-name prefixes excluded from
+	// exhaustiveness (count sentinels like numEvents).
+	EnumIgnorePrefixes []string
+}
+
+// DefaultConfig returns the inventory for this repository: the CAER hot
+// path (engine/monitor ticks, detector steps, responder reactions, table
+// publish/read), the reaction enums, and the comm shared-memory package.
+func DefaultConfig() *Config {
+	return &Config{
+		CommPackages: []string{"comm"},
+		HotPathFuncs: []string{
+			// Engine: per-period detect/respond state machine (Figure 5).
+			"caer.Engine.Tick", "caer.Engine.finishTick",
+			"caer.Engine.OwnMean", "caer.Engine.NeighborMean", "caer.Engine.LastNeighbor",
+			// CAER-M monitor probe.
+			"caer.Monitor.Tick",
+			// Detection heuristics (Algorithms 1 and 2).
+			"caer.ShutterDetector.Step", "caer.RuleDetector.Step",
+			"caer.RandomDetector.Step", "caer.HybridDetector.Step",
+			// Responses (§5).
+			"caer.RedLightGreenLight.React", "caer.RedLightGreenLight.Hold",
+			"caer.SoftLock.React", "caer.SoftLock.Hold",
+			// Bounded decision log, appended every verdict.
+			"caer.EventLog.Append",
+			// Whole-deployment period step.
+			"caer.Runtime.Step",
+			// Communication table publish/read (Figure 4).
+			"comm.Slot.Publish", "comm.Slot.Directive", "comm.Slot.SetDirective",
+			"comm.Slot.LastSample", "comm.Slot.WindowMean",
+			"comm.Table.BroadcastDirective",
+			"comm.ShmTable.Publish", "comm.ShmTable.WindowMean",
+			"comm.ShmTable.DirectiveOf", "comm.ShmTable.SetDirective",
+			"comm.ShmTable.Published",
+			// Sliding-window primitives consumed every period.
+			"stats.Window.Push", "stats.Window.Mean", "stats.Window.MeanRange",
+			"stats.Window.At", "stats.Window.Last",
+			// PMU read-and-restart probes.
+			"pmu.PMU.ReadDelta", "pmu.PMU.Peek",
+			// Simulated hardware counter read feeding the PMU.
+			"machine.Machine.ReadCounter",
+		},
+		AllocFuncs: []string{
+			"Slot.Samples", "ShmTable.Samples", "Window.Snapshot",
+			"Table.Slots", "Table.SlotsByRole", "EventLog.Events",
+			"Sampler.Probe",
+		},
+		EnumTypes: []string{
+			"comm.Directive", "comm.Role",
+			"caer.Verdict", "caer.HeuristicKind", "caer.EventKind",
+			"pmu.Event", "runner.Mode", "spec.Sensitivity",
+		},
+		EnumIgnorePrefixes: []string{"num"},
+	}
+}
+
+// pkgBase returns the last element of an import path.
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsCommPackage reports whether the import path is a communication-table
+// package.
+func (c *Config) IsCommPackage(path string) bool {
+	base := pkgBase(path)
+	for _, p := range c.CommPackages {
+		if base == p {
+			return true
+		}
+	}
+	return false
+}
+
+// matchList reports whether any candidate key appears in list.
+func matchList(list []string, candidates ...string) bool {
+	for _, e := range list {
+		for _, cand := range candidates {
+			if e == cand {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcKeys builds the dotted match keys for a function: with a receiver
+// type name the keys are "pkg.Type.Name" and "Type.Name", otherwise
+// "pkg.Name" and "Name".
+func funcKeys(pkgPath, recv, name string) []string {
+	base := pkgBase(pkgPath)
+	if recv != "" {
+		return []string{base + "." + recv + "." + name, recv + "." + name}
+	}
+	return []string{base + "." + name, name}
+}
+
+// IsHotPathFunc reports whether the (package, receiver type, name) triple
+// names a hot-path function.
+func (c *Config) IsHotPathFunc(pkgPath, recv, name string) bool {
+	return matchList(c.HotPathFuncs, funcKeys(pkgPath, recv, name)...)
+}
+
+// IsAllocFunc reports whether the function is a known allocating
+// snapshot/copy API.
+func (c *Config) IsAllocFunc(pkgPath, recv, name string) bool {
+	return matchList(c.AllocFuncs, funcKeys(pkgPath, recv, name)...)
+}
+
+// IsEnumType reports whether the named type is one of the
+// exhaustiveness-checked enums.
+func (c *Config) IsEnumType(pkgPath, name string) bool {
+	return matchList(c.EnumTypes, pkgBase(pkgPath)+"."+name, name)
+}
+
+// isSentinelConst reports whether a constant name is a count sentinel
+// excluded from exhaustiveness.
+func (c *Config) isSentinelConst(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range c.EnumIgnorePrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// InModule reports whether a package path belongs to the analyzed module.
+func (c *Config) InModule(pkgPath string) bool {
+	return c.ModulePath != "" &&
+		(pkgPath == c.ModulePath || strings.HasPrefix(pkgPath, c.ModulePath+"/"))
+}
+
+// recvTypeName extracts the bare receiver type name of a method
+// declaration ("Engine" from func (e *Engine) Tick...), or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

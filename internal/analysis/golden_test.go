@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation parsed from a testdata comment of the form
+//
+//	// want <analyzer> "substring" [<analyzer> "substring" ...]
+//
+// attached to the offending line.
+type want struct {
+	file     string // base name
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+var wantRe = regexp.MustCompile(`(\w+)\s+"([^"]+)"`)
+
+// parseWants scans every Go file of a testdata package directory for want
+// comments.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read testdata dir: %v", err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("open testdata file: %v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("// want "):], -1) {
+				wants = append(wants, &want{file: e.Name(), line: line, analyzer: m[1], substr: m[2]})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scan testdata file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close testdata file: %v", err)
+		}
+	}
+	return wants
+}
+
+// loadTestPkg loads one package of the testdata module (module path
+// "test").
+func loadTestPkg(t *testing.T, rel string) *Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("abs testdata root: %v", err)
+	}
+	pkg, err := NewLoader(root, "test").Load(filepath.Join(root, rel))
+	if err != nil {
+		t.Fatalf("load testdata package %s: %v", rel, err)
+	}
+	if pkg == nil {
+		t.Fatalf("testdata package %s has no Go files", rel)
+	}
+	return pkg
+}
+
+// runGolden checks one testdata package: every want comment must be hit by
+// a finding and every finding must be expected by a want comment.
+func runGolden(t *testing.T, rel string) {
+	t.Helper()
+	pkg := loadTestPkg(t, rel)
+	cfg := DefaultConfig()
+	cfg.ModulePath = "test"
+	findings := RunAnalyzers(pkg, Analyzers(), cfg)
+	wants := parseWants(t, pkg.Dir)
+
+	for _, f := range findings {
+		base := filepath.Base(f.Pos.Filename)
+		ok := false
+		for _, w := range wants {
+			if w.file == base && w.line == f.Pos.Line && w.analyzer == f.Analyzer &&
+				strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing finding: %s:%d expected [%s] containing %q",
+				w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestGoldenComm(t *testing.T) { runGolden(t, "comm") }
+func TestGoldenCaer(t *testing.T) { runGolden(t, "caer") }
+func TestGoldenPmu(t *testing.T)  { runGolden(t, "pmu") }
+
+// TestGoldenSeedsEveryAnalyzer guards the fixtures themselves: each
+// analyzer of the suite must have at least one seeded violation across the
+// golden packages, or a regression could silently disable it.
+func TestGoldenSeedsEveryAnalyzer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ModulePath = "test"
+	hit := make(map[string]int)
+	for _, rel := range []string{"comm", "caer", "pmu"} {
+		for _, f := range RunAnalyzers(loadTestPkg(t, rel), Analyzers(), cfg) {
+			hit[f.Analyzer]++
+		}
+	}
+	for _, a := range Analyzers() {
+		if hit[a.Name] == 0 {
+			t.Errorf("analyzer %s catches nothing in the golden packages", a.Name)
+		}
+	}
+}
+
+// TestSuppressionComment verifies //caer:allow drops a finding that the
+// same code without the comment produces (the suppress.go fixture calls an
+// allocating snapshot API from a hot function).
+func TestSuppressionComment(t *testing.T) {
+	pkg := loadTestPkg(t, "caer")
+	cfg := DefaultConfig()
+	cfg.ModulePath = "test"
+
+	var raw []Finding
+	pass := &Pass{Analyzer: HotPath, Fset: pkg.Fset, Files: pkg.Files,
+		Pkg: pkg.Types, Info: pkg.Info, Cfg: cfg, findings: &raw}
+	HotPath.Run(pass)
+
+	inSuppress := func(fs []Finding) int {
+		n := 0
+		for _, f := range fs {
+			if filepath.Base(f.Pos.Filename) == "suppress.go" {
+				n++
+			}
+		}
+		return n
+	}
+	if got := inSuppress(raw); got != 1 {
+		t.Fatalf("expected exactly 1 raw hotpath finding in suppress.go, got %d", got)
+	}
+	if got := inSuppress(filterSuppressed(pkg, raw)); got != 0 {
+		t.Errorf("suppressed finding survived filtering (%d left)", got)
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindModule(t *testing.T) {
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	if path != "caer" {
+		t.Errorf("module path = %q, want %q", path, "caer")
+	}
+	if filepath.Base(filepath.Dir(filepath.Dir(root))) == "analysis" {
+		t.Errorf("module root %q should be above internal/analysis", root)
+	}
+}
+
+func TestModulePathFromGoMod(t *testing.T) {
+	cases := map[string]string{
+		"module caer\n\ngo 1.22\n":          "caer",
+		"// hi\nmodule example.com/x/y\n":   "example.com/x/y",
+		"module \"quoted/path\"\ngo 1.22\n": "quoted/path",
+		"go 1.22\n":                         "",
+	}
+	for in, wantPath := range cases {
+		if got := modulePathFromGoMod([]byte(in)); got != wantPath {
+			t.Errorf("modulePathFromGoMod(%q) = %q, want %q", in, got, wantPath)
+		}
+	}
+}
+
+func TestLoaderLoadsRealPackage(t *testing.T) {
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	l := NewLoader(root, path)
+	pkg, err := l.Load(filepath.Join(root, "internal", "comm"))
+	if err != nil {
+		t.Fatalf("Load internal/comm: %v", err)
+	}
+	if pkg.Path != "caer/internal/comm" {
+		t.Errorf("package path = %q, want caer/internal/comm", pkg.Path)
+	}
+	if pkg.Types.Scope().Lookup("Directive") == nil {
+		t.Errorf("type-checked comm package is missing Directive")
+	}
+	// The loader must cache: a second load returns the same package.
+	again, err := l.Load("internal/comm")
+	if err != nil {
+		t.Fatalf("reload internal/comm: %v", err)
+	}
+	if again != pkg {
+		t.Errorf("loader did not cache internal/comm")
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	root, _, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	sawAnalysis := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion descended into testdata: %s", d)
+		}
+		if filepath.Base(d) == "analysis" {
+			sawAnalysis = true
+		}
+	}
+	if !sawAnalysis {
+		t.Errorf("pattern expansion missed internal/analysis; got %d dirs", len(dirs))
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces two rules the table's concurrency story rests
+// on:
+//
+//  1. A function that takes a sync.Mutex/RWMutex lock must contain a
+//     matching Unlock (directly or deferred) on the same receiver
+//     expression. A Lock() that escapes the function relies on a remote
+//     unlock the analyzer — and the next maintainer — cannot see, and a
+//     forgotten one wedges every publisher sharing the slot.
+//  2. An error returned by a function declared in this module must not be
+//     discarded as a bare statement: table/directive writes and shm
+//     teardown report corruption through those errors. Deferred cleanup
+//     calls are exempt (conventionally best-effort), and an explicit
+//     `_ = f()` documents intent and is accepted.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flag Lock() without a same-function Unlock, and discarded errors " +
+		"from this module's functions",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockPairs(pass, fd)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if stmt, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockSite records one Lock()/RLock() call awaiting its unlock.
+type lockSite struct {
+	pos    ast.Node
+	method string // "Lock" or "RLock"
+}
+
+// unlockFor maps the lock method to its releasing counterpart.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkLockPairs verifies that each mutex locked in fd is also unlocked in
+// fd, keyed by the printed receiver expression (s.mu, t.mu, ...).
+func checkLockPairs(pass *Pass, fd *ast.FuncDecl) {
+	locks := make(map[string][]lockSite) // recv expr + method -> sites
+	unlocked := make(map[string]bool)    // recv expr + method
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if !isSyncLockMethod(pass, sel, name) {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		switch name {
+		case "Lock", "RLock":
+			locks[recv+"/"+name] = append(locks[recv+"/"+name], lockSite{pos: call, method: name})
+		case "Unlock", "RUnlock":
+			unlocked[recv+"/"+name] = true
+		}
+		return true
+	})
+	for key, sites := range locks {
+		recv := key[:len(key)-len("/"+sites[0].method)]
+		want := unlockFor[sites[0].method]
+		if unlocked[recv+"/"+want] {
+			continue
+		}
+		for _, site := range sites {
+			pass.Reportf(site.pos.Pos(),
+				"%s.%s() without a matching %s in the same function; "+
+					"a lock that escapes the function wedges every publisher sharing it",
+				recv, site.method, want)
+		}
+	}
+}
+
+// isSyncLockMethod reports whether sel.Sel resolves to a lock-family
+// method of sync.Mutex/sync.RWMutex (including promoted embeds).
+func isSyncLockMethod(pass *Pass, sel *ast.SelectorExpr, name string) bool {
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// checkDiscardedError flags `f(...)` statements whose callee is declared
+// in the analyzed module and returns an error (alone or as the last of
+// several results).
+func checkDiscardedError(pass *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == nil || !pass.Cfg.InModule(callee.Pkg().Path()) {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	recv := recvTypeName(callee)
+	if recv != "" {
+		recv += "."
+	}
+	pass.Reportf(call.Pos(),
+		"error returned by %s%s is discarded; handle it or assign to _ explicitly",
+		recv, callee.Name())
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,43 @@
+package caer
+
+import (
+	"sync/atomic"
+
+	"test/comm"
+)
+
+type misaligned struct {
+	ready bool
+	hits  uint64
+}
+
+type aligned struct {
+	hits  uint64
+	ready bool
+}
+
+func raw(s *comm.Slot) float64 {
+	s.Raw[0] = 1    // want shmaccess "direct access to communication-table field Slot.Raw"
+	return s.Raw[1] // want shmaccess "direct access to communication-table field Slot.Raw"
+}
+
+func construct() comm.Slot {
+	return comm.Slot{} // want shmaccess "composite literal of communication-table type Slot"
+}
+
+func viaAPI(s *comm.Slot) {
+	s.Publish(1) // method access is the sanctioned path: no finding
+}
+
+func bumpBad(c *misaligned) {
+	atomic.AddUint64(&c.hits, 1) // want shmaccess "not 8-byte aligned on 32-bit platforms"
+}
+
+func bumpGood(c *aligned) uint64 {
+	atomic.AddUint64(&c.hits, 1)
+	return atomic.LoadUint64(&c.hits)
+}
+
+func keepFieldsAlive(m *misaligned, a *aligned) bool {
+	return m.ready || a.ready
+}

@@ -1,0 +1,21 @@
+package comm
+
+func describe(d Directive) string {
+	switch d { // want enumswitch "switch over Directive is not exhaustive: missing DirectivePause"
+	case DirectiveRun:
+		return "run"
+	default:
+		return "?"
+	}
+}
+
+func describeRole(r Role) string {
+	switch r {
+	case RoleLatency:
+		return "latency"
+	case RoleBatch:
+		return "batch"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,3 @@
+module test
+
+go 1.22

@@ -203,14 +203,22 @@ func (t *ShmTable) Samples(i int) []float64 {
 }
 
 // WindowMean returns the mean of slot i's windowed samples (0 when empty).
+// It sums the ring in place — this runs in the engines' per-period read
+// path, which must not allocate (the mean is order-independent, so the
+// valid prefix of the ring array is summed directly).
 func (t *ShmTable) WindowMean(i int) float64 {
-	s := t.Samples(i)
-	if len(s) == 0 {
+	off := t.slotOff(i)
+	count := int(binary.LittleEndian.Uint32(t.data[off+20:]))
+	if count == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range s {
-		sum += v
+	if count > t.windowSize {
+		count = t.windowSize
 	}
-	return sum / float64(len(s))
+	ring := off + slotFixedSize
+	var sum float64
+	for j := 0; j < count; j++ {
+		sum += math.Float64frombits(binary.LittleEndian.Uint64(t.data[ring+8*j:]))
+	}
+	return sum / float64(count)
 }

@@ -209,9 +209,13 @@ func (t *Table) SlotsByRole(role Role) []*Slot {
 }
 
 // BroadcastDirective sets d on every batch slot: the paper requires all
-// batch processes to react together.
+// batch processes to react together. It iterates the slot list under the
+// table lock rather than taking a snapshot — this runs once per sampling
+// period and must not allocate.
 func (t *Table) BroadcastDirective(d Directive) {
-	for _, s := range t.Slots() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.slots {
 		if s.role == RoleBatch {
 			s.SetDirective(d)
 		}

@@ -84,6 +84,10 @@ func eventConfig(ev pmu.Event) (uint64, bool) {
 		return hwInstructions, true
 	case pmu.EventCycles:
 		return hwCPUCycles, true
+	case pmu.EventL2Misses:
+		// No generic PERF_TYPE_HARDWARE encoding; needs a raw
+		// model-specific event, which we do not configure here.
+		return 0, false
 	default:
 		return 0, false
 	}
@@ -120,11 +124,11 @@ func OpenCounter(ev pmu.Event, cpu int) (*Counter, error) {
 	}
 	c := &Counter{fd: int(fd), ev: ev}
 	if err := c.ioctl(ioctlReset); err != nil {
-		c.Close()
+		_ = c.Close() // best-effort cleanup; the ioctl error wins
 		return nil, err
 	}
 	if err := c.ioctl(ioctlEnable); err != nil {
-		c.Close()
+		_ = c.Close() // best-effort cleanup; the ioctl error wins
 		return nil, err
 	}
 	return c, nil
@@ -184,7 +188,7 @@ func NewSource(cpus []int, events []pmu.Event) (*Source, error) {
 		for _, ev := range events {
 			c, err := OpenCounter(ev, cpu)
 			if err != nil {
-				s.Close()
+				_ = s.Close() // best-effort cleanup; the open error wins
 				return nil, err
 			}
 			s.counters[core][ev] = c
