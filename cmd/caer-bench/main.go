@@ -8,9 +8,16 @@
 //	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
+//	           [-chaos]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
 // run; the published numbers in EXPERIMENTS.md use the full lengths.
+//
+// -chaos runs the fault-injection regime suite (DESIGN.md §8): every fault
+// class (counter resets, spikes, dropped samples, probe jitter, monitor
+// crashes) against the shutter, rule-based, and hybrid pairings. When -fig
+// is not given explicitly, -chaos skips the figures and prints only the
+// chaos table.
 package main
 
 import (
@@ -35,7 +42,15 @@ func main() {
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 21)")
 	quick := flag.Bool("quick", false, "shrink benchmark lengths 8x for a fast smoke run")
 	ablation := flag.String("ablation", "", "additionally run ablations: partition, response, tuning, adversary, multiapp (comma-separated or 'all')")
+	chaos := flag.Bool("chaos", false, "run the fault-injection regime suite (skips figures unless -fig is set explicitly)")
 	flag.Parse()
+
+	figSetExplicitly := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fig" {
+			figSetExplicitly = true
+		}
+	})
 
 	suite := experiments.NewSuite()
 	suite.Seed = *seed
@@ -50,6 +65,9 @@ func main() {
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
+	}
+	if *chaos && !figSetExplicitly {
+		want = map[string]bool{}
 	}
 	all := want["all"]
 	out := os.Stdout
@@ -157,6 +175,20 @@ func main() {
 				[2]spec.Profile{spec.LBM(), spec.LBM()},
 				caer.HeuristicRule))
 		}
+	}
+	if *chaos {
+		fmt.Fprintf(out, "\nChaos regimes (fault injection, DESIGN.md §8)\n\n")
+		reports := experiments.ChaosSuite(*seed, *quick)
+		experiments.WriteChaosReport(out, reports)
+		for _, r := range reports {
+			if !r.Completed {
+				fatalf("fail-open violation: %s/%s never completed", r.Heuristic, r.Fault)
+			}
+			if r.DegradedAtEnd {
+				fatalf("fail-open violation: %s/%s still degraded after faults ceased", r.Heuristic, r.Fault)
+			}
+		}
+		fmt.Fprintf(out, "\nall regimes fail open: latency app completed under every fault class\n")
 	}
 	fmt.Fprintf(out, "\n[%s elapsed]\n", time.Since(start).Round(time.Millisecond))
 }

@@ -61,30 +61,35 @@ func DefaultConfig() *Config {
 			"caer.EventLog.Append",
 			// Whole-deployment period step.
 			"caer.Runtime.Step",
-			// Communication table publish/read (Figure 4).
+			// Communication table publish/read (Figure 4), plus the per-period
+			// liveness protocol the engine watchdog consumes.
 			"comm.Slot.Publish", "comm.Slot.Directive", "comm.Slot.SetDirective",
 			"comm.Slot.LastSample", "comm.Slot.WindowMean",
-			"comm.Table.BroadcastDirective",
+			"comm.Slot.Seq", "comm.Slot.StalePeriods",
+			"comm.Table.BroadcastDirective", "comm.Table.BumpPeriod",
 			"comm.ShmTable.Publish", "comm.ShmTable.WindowMean",
 			"comm.ShmTable.DirectiveOf", "comm.ShmTable.SetDirective",
 			"comm.ShmTable.Published",
+			"comm.ShmTable.StalePeriods", "comm.ShmTable.BumpPeriod",
+			// Watchdog staleness scan, run every engine tick.
+			"caer.Engine.maxNeighborStale",
 			// Sliding-window primitives consumed every period.
 			"stats.Window.Push", "stats.Window.Mean", "stats.Window.MeanRange",
 			"stats.Window.At", "stats.Window.Last",
-			// PMU read-and-restart probes.
-			"pmu.PMU.ReadDelta", "pmu.PMU.Peek",
+			// PMU read-and-restart probes and the per-period sampler sweep.
+			"pmu.PMU.ReadDelta", "pmu.PMU.Peek", "pmu.Sampler.Probe",
 			// Simulated hardware counter read feeding the PMU.
 			"machine.Machine.ReadCounter",
 		},
 		AllocFuncs: []string{
 			"Slot.Samples", "ShmTable.Samples", "Window.Snapshot",
 			"Table.Slots", "Table.SlotsByRole", "EventLog.Events",
-			"Sampler.Probe",
 		},
 		EnumTypes: []string{
 			"comm.Directive", "comm.Role",
 			"caer.Verdict", "caer.HeuristicKind", "caer.EventKind",
 			"pmu.Event", "runner.Mode", "spec.Sensitivity",
+			"experiments.FaultKind",
 		},
 		EnumIgnorePrefixes: []string{"num"},
 	}

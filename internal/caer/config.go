@@ -67,6 +67,14 @@ type Config struct {
 	RandomP float64
 	// RandomSeed seeds the baseline heuristic.
 	RandomSeed int64
+
+	// WatchdogPeriods is the engine watchdog horizon: after this many
+	// consecutive periods in which some neighbour slot received no fresh
+	// sample, the engine enters the degraded fail-open state (emit
+	// DirectiveRun, stop trusting the frozen windows) until samples
+	// resume. 0 disables the watchdog — an engine driven outside a
+	// Runtime, whose table period never advances, is never degraded.
+	WatchdogPeriods int
 }
 
 // DefaultConfig returns the paper's configuration scaled to the simulated
@@ -85,6 +93,7 @@ func DefaultConfig() Config {
 		MaxResponseLength: 80,
 		RandomP:           0.5,
 		RandomSeed:        1,
+		WatchdogPeriods:   30,
 	}
 }
 
@@ -115,6 +124,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("caer: MaxResponseLength %d below ResponseLength %d", c.MaxResponseLength, c.ResponseLength)
 	case c.RandomP < 0 || c.RandomP > 1:
 		return fmt.Errorf("caer: RandomP %v out of [0,1]", c.RandomP)
+	case c.WatchdogPeriods < 0:
+		return fmt.Errorf("caer: WatchdogPeriods %d must be non-negative (0 disables)", c.WatchdogPeriods)
 	}
 	return nil
 }

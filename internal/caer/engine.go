@@ -12,6 +12,10 @@ type engineState int
 const (
 	stateDetecting engineState = iota
 	stateHolding
+	// stateDegraded is the fail-open extension of the Figure 5 machine:
+	// the neighbour samples went stale past the watchdog horizon, so the
+	// engine emits DirectiveRun and suspends detection until they resume.
+	stateDegraded
 )
 
 // EngineStats summarises an engine's decision history — the paper's
@@ -24,6 +28,8 @@ type EngineStats struct {
 	CNegative      uint64 // no-contention verdicts
 	DetectionTicks uint64 // periods spent inside detection protocols
 	HoldTicks      uint64 // periods spent inside response holds
+	DegradedTicks  uint64 // periods spent in the fail-open degraded state
+	WatchdogTrips  uint64 // times the watchdog forced degradation
 }
 
 // Engine is the main CAER layer that lies under a batch application
@@ -45,6 +51,10 @@ type Engine struct {
 	log          *EventLog
 	loggedDir    comm.Directive
 	everDirected bool
+	// watchdog is the staleness horizon in periods (0 = disabled): once
+	// the most-stale neighbour slot has gone watchdog periods without a
+	// fresh sample, the engine degrades to fail-open.
+	watchdog int
 }
 
 // engineLogCapacity bounds the decision log's memory footprint.
@@ -72,6 +82,37 @@ func NewEngine(det Detector, resp Responder, own *comm.Slot, neighbors []*comm.S
 	ns := make([]*comm.Slot, len(neighbors))
 	copy(ns, neighbors)
 	return &Engine{det: det, resp: resp, ownSlot: own, neighborSlots: ns, log: NewEventLog(engineLogCapacity)}
+}
+
+// SetWatchdog arms the engine's staleness watchdog: after periods
+// consecutive sampling periods in which some neighbour slot received no
+// fresh sample (its publisher — a CAER-M monitor — is dead or wedged), the
+// engine enters the degraded fail-open state, emitting DirectiveRun
+// instead of trusting frozen windows, and recovers once every neighbour
+// publishes again. periods <= 0 disables the watchdog. It must be called
+// before the first Tick; reconfiguring a running engine would make the
+// decision log unaccountable.
+func (e *Engine) SetWatchdog(periods int) {
+	if e.stats.Periods > 0 {
+		panic("caer: SetWatchdog after the first Tick")
+	}
+	e.watchdog = periods
+}
+
+// Degraded reports whether the engine is currently failing open because
+// its neighbour samples are stale.
+func (e *Engine) Degraded() bool { return e.state == stateDegraded }
+
+// maxNeighborStale returns the staleness, in table periods, of the
+// longest-silent neighbour slot.
+func (e *Engine) maxNeighborStale() uint64 {
+	var m uint64
+	for _, n := range e.neighborSlots {
+		if s := n.StalePeriods(); s > m {
+			m = s
+		}
+	}
+	return m
 }
 
 // Log returns the engine's bounded decision log.
@@ -121,6 +162,38 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 	e.ownSlot.Publish(ownMisses)
 	neighbor := e.LastNeighbor()
 	e.stats.Periods++
+
+	// Watchdog: a dead neighbour publisher freezes its window, and a
+	// frozen-high window would wedge the batch in DirectivePause forever
+	// (the soft lock waits for pressure that can never subside). Checked
+	// before the hold branch so degradation bounds in-flight pauses too.
+	if e.watchdog > 0 {
+		stale := e.maxNeighborStale()
+		if e.state == stateDegraded {
+			if stale == 0 {
+				// Every neighbour published this period: recover.
+				e.state = stateDetecting
+				e.holdLeft = 0
+				e.det.Reset()
+				e.resp.Reset()
+				e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventRecovered, NeighborMisses: neighbor})
+			} else {
+				e.stats.DegradedTicks++
+				e.directive = comm.DirectiveRun
+				e.finishTick()
+				return e.directive
+			}
+		} else if stale >= uint64(e.watchdog) {
+			e.state = stateDegraded
+			e.holdLeft = 0
+			e.stats.WatchdogTrips++
+			e.stats.DegradedTicks++
+			e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventDegraded, StalePeriods: stale})
+			e.directive = comm.DirectiveRun
+			e.finishTick()
+			return e.directive
+		}
+	}
 
 	if e.state == stateHolding {
 		d, release := e.resp.Hold(e)

@@ -19,6 +19,13 @@ const (
 	EventHoldRelease
 	// EventDirective records a directive change (run <-> pause).
 	EventDirective
+	// EventDegraded records the engine watchdog tripping: the neighbour
+	// samples went stale for the watchdog horizon, so the engine fails
+	// open (DirectiveRun) rather than trust a dead publisher's window.
+	EventDegraded
+	// EventRecovered records fresh neighbour samples resuming after a
+	// degraded span; normal detection restarts.
+	EventRecovered
 )
 
 // String names the kind.
@@ -32,6 +39,10 @@ func (k EventKind) String() string {
 		return "hold-release"
 	case EventDirective:
 		return "directive"
+	case EventDegraded:
+		return "degraded"
+	case EventRecovered:
+		return "recovered"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -44,6 +55,9 @@ type Event struct {
 	Verdict   Verdict        // for EventVerdict
 	Directive comm.Directive // for EventDirective / EventHoldStart
 	HoldLen   int            // for EventHoldStart
+	// StalePeriods is how long the neighbour samples had been stale when a
+	// watchdog event fired (for EventDegraded).
+	StalePeriods uint64
 	// OwnMisses / NeighborMisses snapshot the evidence at decision time.
 	OwnMisses      float64
 	NeighborMisses float64
@@ -60,6 +74,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("p%06d hold released (neighbor=%.0f)", e.Period, e.NeighborMisses)
 	case EventDirective:
 		return fmt.Sprintf("p%06d directive=%v", e.Period, e.Directive)
+	case EventDegraded:
+		return fmt.Sprintf("p%06d degraded: neighbour samples stale for %d periods, failing open", e.Period, e.StalePeriods)
+	case EventRecovered:
+		return fmt.Sprintf("p%06d recovered: neighbour samples resumed (neighbor=%.0f)", e.Period, e.NeighborMisses)
 	default:
 		return fmt.Sprintf("p%06d %v", e.Period, e.Kind)
 	}

@@ -13,6 +13,7 @@ import (
 type Monitor struct {
 	pmu  *pmu.PMU
 	slot *comm.Slot
+	down bool
 }
 
 // NewMonitor binds a PMU view to a latency-sensitive table slot. It panics
@@ -30,8 +31,26 @@ func NewMonitor(p *pmu.PMU, slot *comm.Slot) *Monitor {
 // Slot returns the monitor's table slot.
 func (m *Monitor) Slot() *comm.Slot { return m.slot }
 
+// SetDown simulates a monitor crash (down=true) or restart (down=false).
+// A down monitor stops publishing entirely — its slot's window freezes and
+// its staleness grows, which is the failure the engines' watchdogs detect.
+// On restart the PMU is re-armed so the first sample after the outage
+// covers one period, not the whole gap.
+func (m *Monitor) SetDown(down bool) {
+	if m.down && !down {
+		m.pmu.Arm()
+	}
+	m.down = down
+}
+
+// Down reports whether the monitor is simulated as crashed.
+func (m *Monitor) Down() bool { return m.down }
+
 // Tick performs one periodic probe: read-and-restart the LLC-miss counter
-// and publish the delta.
+// and publish the delta. A crashed monitor does nothing.
 func (m *Monitor) Tick() {
+	if m.down {
+		return
+	}
 	m.slot.Publish(float64(m.pmu.ReadDelta(pmu.EventLLCMisses)))
 }

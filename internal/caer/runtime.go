@@ -123,6 +123,11 @@ type Runtime struct {
 	cfg   Config
 	kind  HeuristicKind
 	table *comm.Table
+	// src is the counter source the monitors' and engines' PMUs probe.
+	// It defaults to the machine itself; WithSource interposes another
+	// implementation (e.g. a pmu.FaultSource for chaos experiments, or a
+	// real perf_event backend).
+	src pmu.Source
 
 	latency  []app
 	batch    []app
@@ -143,6 +148,17 @@ func WithActuator(a Actuator) Option {
 	return func(rt *Runtime) { rt.actuator = a }
 }
 
+// WithSource interposes a pmu.Source between the machine's counters and
+// the runtime's PMUs. The machine still executes the workloads; only the
+// counter reads go through src. Chaos experiments use this to inject
+// counter faults without touching the runtime logic.
+func WithSource(src pmu.Source) Option {
+	if src == nil {
+		panic("caer: WithSource needs a source")
+	}
+	return func(rt *Runtime) { rt.src = src }
+}
+
 // NewRuntime creates a CAER deployment on machine m using the given
 // heuristic pairing and configuration. Applications are added with
 // AddLatency/AddBatch before the first Step.
@@ -155,6 +171,7 @@ func NewRuntime(m *machine.Machine, kind HeuristicKind, cfg Config, opts ...Opti
 		cfg:      cfg,
 		kind:     kind,
 		table:    comm.NewTable(cfg.WindowSize),
+		src:      m,
 		actuator: PauseActuator,
 	}
 	for _, o := range opts {
@@ -172,6 +189,11 @@ func (rt *Runtime) Heuristic() HeuristicKind { return rt.kind }
 // Engines returns the batch engines (one per batch application).
 func (rt *Runtime) Engines() []*Engine { return rt.engines }
 
+// Monitors returns the CAER-M monitors (one per latency-sensitive
+// application), in registration order. Chaos experiments use them to
+// simulate monitor crashes.
+func (rt *Runtime) Monitors() []*Monitor { return rt.monitors }
+
 // Relaunches returns how many times completed batch applications were
 // relaunched.
 func (rt *Runtime) Relaunches() int { return rt.relaunches }
@@ -183,7 +205,7 @@ func (rt *Runtime) AddLatency(name string, core int, proc *machine.Process) {
 	rt.m.Bind(core, proc)
 	slot := rt.table.Register(name, comm.RoleLatency)
 	rt.latency = append(rt.latency, app{name: name, core: core, proc: proc, slot: slot})
-	rt.monitors = append(rt.monitors, NewMonitor(pmu.New(rt.m, core), slot))
+	rt.monitors = append(rt.monitors, NewMonitor(pmu.New(rt.src, core), slot))
 }
 
 // AddBatch binds a batch application to a core under a full CAER engine.
@@ -212,8 +234,9 @@ func (rt *Runtime) start() {
 	}
 	for _, b := range rt.batch {
 		eng := NewEngine(rt.kind.NewDetector(rt.cfg), rt.kind.NewResponder(rt.cfg), b.slot, neighborSlots)
+		eng.SetWatchdog(rt.cfg.WatchdogPeriods)
 		rt.engines = append(rt.engines, eng)
-		rt.enginePM = append(rt.enginePM, pmu.New(rt.m, b.core))
+		rt.enginePM = append(rt.enginePM, pmu.New(rt.src, b.core))
 	}
 	rt.started = true
 }
@@ -229,6 +252,9 @@ func (rt *Runtime) Step() {
 		rt.start()
 	}
 	rt.m.RunPeriod()
+	// Advance the table's period clock before this period's publishes so
+	// StalePeriods counts publisher silence in whole periods.
+	rt.table.BumpPeriod()
 	for _, mon := range rt.monitors {
 		mon.Tick()
 	}

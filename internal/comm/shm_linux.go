@@ -16,11 +16,18 @@ import (
 // single-writer discipline: each slot's sample ring is written only by the
 // CAER layer owning that slot; directives are written only by the engine.
 //
-// Layout (little-endian):
+// Layout (little-endian, version 2 — the period header field and the
+// per-slot lastPub stamp back the publisher-liveness protocol):
 //
-//	header:  magic u64 | windowSize u32 | slotCount u32
+//	header:  magic u64 | windowSize u32 | slotCount u32 | period u64
 //	slot[i]: role u32 | directive u32 | published u64 | head u32 | count u32 |
-//	         samples [windowSize]f64
+//	         lastPub u64 | samples [windowSize]f64
+//
+// published is the slot's publish sequence number and lastPub the table
+// period of its latest publish plus 1 (0 = never published); together with
+// the header's period counter (advanced once per period by the engine-side
+// process via BumpPeriod) they let any consumer ask StalePeriods — how long
+// a publisher has been silent — and detect a dead CAER-M monitor.
 //
 // ShmTable methods are not synchronized across processes beyond that
 // single-writer discipline; a reader may observe a window mid-update. The
@@ -35,10 +42,21 @@ type ShmTable struct {
 }
 
 const (
-	shmMagic      = 0x3143_4145_5254_424c // "CAERTBL1" flavoured
-	shmHeaderSize = 16
-	slotFixedSize = 4 + 4 + 8 + 4 + 4
+	shmMagic      = 0x3243_4145_5254_424c // "CAERTBL2" flavoured
+	shmHeaderSize = 24
+	slotFixedSize = 4 + 4 + 8 + 4 + 4 + 8
 )
+
+// Byte offsets within a slot's fixed region.
+const (
+	slotOffPublished = 8
+	slotOffHead      = 16
+	slotOffCount     = 20
+	slotOffLastPub   = 24
+)
+
+// shmOffPeriod is the header offset of the period counter.
+const shmOffPeriod = 16
 
 func slotStride(windowSize int) int { return slotFixedSize + 8*windowSize }
 
@@ -163,12 +181,14 @@ func (t *ShmTable) DirectiveOf(i int) Directive {
 	return Directive(binary.LittleEndian.Uint32(t.data[t.slotOff(i)+4:]))
 }
 
-// Publish appends one sample to slot i's ring (single writer per slot).
+// Publish appends one sample to slot i's ring, advances the slot's publish
+// sequence number, and stamps the publish with the table's current period
+// (single writer per slot).
 func (t *ShmTable) Publish(i int, v float64) {
 	off := t.slotOff(i)
-	published := binary.LittleEndian.Uint64(t.data[off+8:])
-	head := int(binary.LittleEndian.Uint32(t.data[off+16:]))
-	count := int(binary.LittleEndian.Uint32(t.data[off+20:]))
+	published := binary.LittleEndian.Uint64(t.data[off+slotOffPublished:])
+	head := int(binary.LittleEndian.Uint32(t.data[off+slotOffHead:]))
+	count := int(binary.LittleEndian.Uint32(t.data[off+slotOffCount:]))
 	ring := off + slotFixedSize
 	if count == t.windowSize {
 		binary.LittleEndian.PutUint64(t.data[ring+8*head:], math.Float64bits(v))
@@ -178,21 +198,53 @@ func (t *ShmTable) Publish(i int, v float64) {
 		binary.LittleEndian.PutUint64(t.data[ring+8*pos:], math.Float64bits(v))
 		count++
 	}
-	binary.LittleEndian.PutUint64(t.data[off+8:], published+1)
-	binary.LittleEndian.PutUint32(t.data[off+16:], uint32(head))
-	binary.LittleEndian.PutUint32(t.data[off+20:], uint32(count))
+	binary.LittleEndian.PutUint64(t.data[off+slotOffPublished:], published+1)
+	binary.LittleEndian.PutUint32(t.data[off+slotOffHead:], uint32(head))
+	binary.LittleEndian.PutUint32(t.data[off+slotOffCount:], uint32(count))
+	binary.LittleEndian.PutUint64(t.data[off+slotOffLastPub:],
+		binary.LittleEndian.Uint64(t.data[shmOffPeriod:])+1)
 }
 
-// Published returns slot i's lifetime sample count.
+// Published returns slot i's publish sequence number (the lifetime sample
+// count).
 func (t *ShmTable) Published(i int) uint64 {
-	return binary.LittleEndian.Uint64(t.data[t.slotOff(i)+8:])
+	return binary.LittleEndian.Uint64(t.data[t.slotOff(i)+slotOffPublished:])
+}
+
+// BumpPeriod advances the table-wide sampling-period counter. The
+// engine-side process calls it exactly once per period, before the
+// period's publishes, so StalePeriods measures publisher liveness in
+// periods (single writer: only one process owns the period counter).
+func (t *ShmTable) BumpPeriod() {
+	binary.LittleEndian.PutUint64(t.data[shmOffPeriod:],
+		binary.LittleEndian.Uint64(t.data[shmOffPeriod:])+1)
+}
+
+// Period returns the table's current sampling-period counter.
+func (t *ShmTable) Period() uint64 {
+	return binary.LittleEndian.Uint64(t.data[shmOffPeriod:])
+}
+
+// StalePeriods returns how many table periods have elapsed since slot i's
+// owner last published — 0 when the slot published during the current
+// period, the full table age when it never published. A consumer watching
+// this grow without bound is reading a dead publisher (a crashed CAER-M
+// monitor) and must fail open rather than trust the frozen window.
+func (t *ShmTable) StalePeriods(i int) uint64 {
+	off := t.slotOff(i)
+	period := binary.LittleEndian.Uint64(t.data[shmOffPeriod:])
+	lastPub := binary.LittleEndian.Uint64(t.data[off+slotOffLastPub:])
+	if lastPub == 0 {
+		return period
+	}
+	return period - (lastPub - 1)
 }
 
 // Samples returns a copy of slot i's windowed samples, oldest first.
 func (t *ShmTable) Samples(i int) []float64 {
 	off := t.slotOff(i)
-	head := int(binary.LittleEndian.Uint32(t.data[off+16:]))
-	count := int(binary.LittleEndian.Uint32(t.data[off+20:]))
+	head := int(binary.LittleEndian.Uint32(t.data[off+slotOffHead:]))
+	count := int(binary.LittleEndian.Uint32(t.data[off+slotOffCount:]))
 	ring := off + slotFixedSize
 	out := make([]float64, count)
 	for j := 0; j < count; j++ {
@@ -208,7 +260,7 @@ func (t *ShmTable) Samples(i int) []float64 {
 // valid prefix of the ring array is summed directly).
 func (t *ShmTable) WindowMean(i int) float64 {
 	off := t.slotOff(i)
-	count := int(binary.LittleEndian.Uint32(t.data[off+20:]))
+	count := int(binary.LittleEndian.Uint32(t.data[off+slotOffCount:]))
 	if count == 0 {
 		return 0
 	}

@@ -192,3 +192,57 @@ func TestShmTableCloseRemovesOwnedFile(t *testing.T) {
 		t.Errorf("second Close: %v", err)
 	}
 }
+
+func TestShmTableStalePeriods(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "caer.tbl")
+	tab, err := CreateShmTable(path, 4, 2)
+	if err != nil {
+		t.Fatalf("CreateShmTable: %v", err)
+	}
+	defer tab.Close()
+
+	if tab.Period() != 0 || tab.StalePeriods(0) != 0 {
+		t.Fatal("fresh shm table reports a period or staleness")
+	}
+
+	// Healthy periods: slot 0 publishes each period, slot 1 never does.
+	for p := 1; p <= 4; p++ {
+		tab.BumpPeriod()
+		tab.Publish(0, float64(p))
+		if got := tab.StalePeriods(0); got != 0 {
+			t.Fatalf("period %d: healthy slot stale by %d", p, got)
+		}
+		if got := tab.StalePeriods(1); got != uint64(p) {
+			t.Fatalf("period %d: never-published slot stale by %d, want %d", p, got, p)
+		}
+	}
+
+	// Slot 0's publisher dies; staleness grows until it resumes.
+	for k := 1; k <= 3; k++ {
+		tab.BumpPeriod()
+		if got := tab.StalePeriods(0); got != uint64(k) {
+			t.Fatalf("after %d silent periods StalePeriods = %d", k, got)
+		}
+	}
+	tab.Publish(0, 9)
+	if got := tab.StalePeriods(0); got != 0 {
+		t.Fatalf("StalePeriods after resumed publish = %d, want 0", got)
+	}
+
+	// The liveness protocol is cross-process state: an attached mapping
+	// sees the same period and staleness.
+	attached, err := OpenShmTable(path)
+	if err != nil {
+		t.Fatalf("OpenShmTable: %v", err)
+	}
+	defer attached.Close()
+	if attached.Period() != tab.Period() {
+		t.Error("attached mapping disagrees on period")
+	}
+	if attached.StalePeriods(0) != 0 || attached.StalePeriods(1) != tab.Period() {
+		t.Error("attached mapping disagrees on staleness")
+	}
+	if attached.Published(0) != 5 {
+		t.Errorf("attached Published = %d, want 5", attached.Published(0))
+	}
+}

@@ -13,6 +13,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"caer/internal/stats"
 )
@@ -66,14 +67,16 @@ func (d Directive) String() string {
 
 // Slot is one application's region of the table.
 type Slot struct {
-	id   int
-	name string
-	role Role
+	id    int
+	name  string
+	role  Role
+	table *Table
 
 	mu        sync.Mutex
 	window    *stats.Window
 	directive Directive
-	published uint64 // samples published over the slot's lifetime
+	published uint64 // publish sequence number (samples over the lifetime)
+	lastPub   uint64 // table period of the latest publish, plus 1; 0 = never
 }
 
 // ID returns the slot index within its table.
@@ -86,19 +89,45 @@ func (s *Slot) Name() string { return s.name }
 func (s *Slot) Role() Role { return s.role }
 
 // Publish appends one per-period sample (LLC misses during the period) to
-// the slot's window. Only the owning CAER layer calls Publish.
+// the slot's window, advances the slot's publish sequence number, and
+// stamps the publish with the table's current period. Only the owning CAER
+// layer calls Publish.
 func (s *Slot) Publish(llcMisses float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.window.Push(llcMisses)
 	s.published++
+	s.lastPub = s.table.period.Load() + 1
 }
 
-// Published returns the lifetime sample count.
+// Published returns the slot's publish sequence number (the lifetime
+// sample count). A consumer that sees the sequence stand still across its
+// own ticks is reading a dead publisher's frozen window.
 func (s *Slot) Published() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.published
+}
+
+// Seq is Published under its protocol name: the per-slot publish sequence
+// number consumers compare across periods to detect a dead publisher.
+func (s *Slot) Seq() uint64 { return s.Published() }
+
+// StalePeriods returns how many table periods have elapsed since this
+// slot's owner last published — 0 when the slot published during the
+// current period, and the full table age when it never published at all.
+// Consumers (the CAER engines' watchdogs) treat a slot whose staleness
+// keeps growing as a dead publisher and fail open. Tables whose period is
+// never advanced (BumpPeriod unused) always report 0: staleness detection
+// is opt-in per deployment.
+func (s *Slot) StalePeriods() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	period := s.table.period.Load()
+	if s.lastPub == 0 {
+		return period
+	}
+	return period - (s.lastPub - 1)
 }
 
 // WindowMean returns the mean of the sample window (0 when empty).
@@ -159,6 +188,12 @@ type Table struct {
 	mu         sync.Mutex
 	slots      []*Slot
 	windowSize int
+	// period is the table-wide sampling-period counter, advanced once per
+	// period by the deployment's driver (Runtime.Step). It is atomic, not
+	// mutex-guarded, because Publish stamps it while holding a slot lock
+	// and BroadcastDirective takes slot locks while holding the table lock
+	// — a mutex here would invert that order.
+	period atomic.Uint64
 }
 
 // NewTable constructs a table whose slots hold windowSize samples each.
@@ -172,6 +207,14 @@ func NewTable(windowSize int) *Table {
 // WindowSize returns the per-slot window capacity.
 func (t *Table) WindowSize() int { return t.windowSize }
 
+// BumpPeriod advances the table's sampling-period counter. The deployment
+// driver calls it exactly once per period, before the period's publishes,
+// so that StalePeriods measures publisher liveness in periods.
+func (t *Table) BumpPeriod() { t.period.Add(1) }
+
+// Period returns the table's current sampling-period counter.
+func (t *Table) Period() uint64 { return t.period.Load() }
+
 // Register adds an application and returns its slot.
 func (t *Table) Register(name string, role Role) *Slot {
 	t.mu.Lock()
@@ -180,6 +223,7 @@ func (t *Table) Register(name string, role Role) *Slot {
 		id:     len(t.slots),
 		name:   name,
 		role:   role,
+		table:  t,
 		window: stats.NewWindow(t.windowSize),
 	}
 	t.slots = append(t.slots, s)

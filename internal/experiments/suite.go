@@ -32,13 +32,26 @@ type Suite struct {
 	Parallelism int
 
 	mu    sync.Mutex
-	cache map[runKey]runner.Result
+	cache map[runKey]*cacheEntry
+	// runFn executes one scenario; nil means runner.Run. Tests replace it
+	// to count and script executions.
+	runFn func(runner.Scenario) runner.Result
 }
 
 type runKey struct {
 	bench     string
 	mode      runner.Mode
 	heuristic caer.HeuristicKind
+}
+
+// cacheEntry is a singleflight slot: the goroutine that inserts it runs the
+// scenario and closes done; everyone else who finds it waits on done and
+// reads res. This way concurrent Result calls for the same key — routine
+// under Prewarm's worker pool — execute the scenario exactly once instead
+// of racing between the cache miss and the cache fill.
+type cacheEntry struct {
+	done chan struct{}
+	res  runner.Result
 }
 
 // NewSuite returns a suite over the full paper benchmark set.
@@ -58,37 +71,45 @@ func (s *Suite) defaults() {
 		s.Parallelism = runtime.NumCPU()
 	}
 	if s.cache == nil {
-		s.cache = make(map[runKey]runner.Result)
+		s.cache = make(map[runKey]*cacheEntry)
+	}
+	if s.runFn == nil {
+		s.runFn = runner.Run
 	}
 }
 
-// Result runs (or recalls) one scenario for the given benchmark.
+// Result runs (or recalls) one scenario for the given benchmark. Concurrent
+// calls for the same scenario share a single execution.
 func (s *Suite) Result(bench spec.Profile, mode runner.Mode, heuristic caer.HeuristicKind) runner.Result {
 	s.mu.Lock()
 	s.defaults()
 	key := runKey{bench.Name, mode, heuristic}
-	if r, ok := s.cache[key]; ok {
+	if e, ok := s.cache[key]; ok {
 		s.mu.Unlock()
-		return r
+		<-e.done
+		return e.res
 	}
-	s.mu.Unlock()
-
-	r := runner.Run(runner.Scenario{
+	e := &cacheEntry{done: make(chan struct{})}
+	s.cache[key] = e
+	run := s.runFn
+	scenario := runner.Scenario{
 		Latency:   bench,
 		Batch:     s.Batch,
 		Mode:      mode,
 		Heuristic: heuristic,
 		Config:    s.Config,
 		Seed:      s.Seed,
-	})
-	if !r.Completed {
+	}
+	s.mu.Unlock()
+
+	// Close done even if the run panics, so waiters aren't stranded while
+	// the panic unwinds.
+	defer close(e.done)
+	e.res = run(scenario)
+	if !e.res.Completed {
 		panic(fmt.Sprintf("experiments: %s/%v did not complete", bench.Name, mode))
 	}
-
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
-	return r
+	return e.res
 }
 
 // modeRun identifies one scenario flavour used by the figures.

@@ -79,3 +79,46 @@ func TestCounterDoubleCloseSafe(t *testing.T) {
 		t.Errorf("closing a closed counter errored: %v", err)
 	}
 }
+
+// TestCounterResetRegressionTolerated documents the counter-regression
+// hazard the PMU layer hardens against. A perf_event counter is cumulative
+// only per fd configuration: PERF_EVENT_IOC_RESET (which OpenCounter itself
+// issues, and which attr.inherit/enable-on-exec setups re-issue on exec)
+// snaps the value back to zero, so a reader that assumes monotonicity
+// computes cur-last with cur < last and gets a ~2^64 delta. PMU.ReadDelta
+// must instead re-arm on the regressed value and report zero.
+func TestCounterResetRegressionTolerated(t *testing.T) {
+	src, err := NewSource([]int{0}, []pmu.Event{pmu.EventCycles})
+	if err != nil {
+		t.Skipf("hardware counters unavailable: %v", err)
+	}
+	defer src.Close()
+	p := pmu.New(src, 0)
+
+	burn := func() {
+		x := 0
+		for i := 0; i < 1_000_000; i++ {
+			x += i * i
+		}
+		_ = x
+	}
+	burn()
+	if d := p.ReadDelta(pmu.EventCycles); d == 0 {
+		t.Skip("cycle counter did not advance (emulated PMU?)")
+	}
+	burn()
+
+	// Reset the fd mid-flight, as PERF_EVENT_IOC_RESET / reset-on-exec
+	// would: the next raw read regresses below the PMU's last value.
+	if err := src.counters[0][pmu.EventCycles].ioctl(ioctlReset); err != nil {
+		t.Fatalf("reset ioctl: %v", err)
+	}
+	if d := p.ReadDelta(pmu.EventCycles); d > 1<<40 {
+		t.Fatalf("delta after reset = %d: unsigned underflow leaked through", d)
+	}
+	// And the PMU re-armed on the regressed value: deltas keep flowing.
+	burn()
+	if d := p.ReadDelta(pmu.EventCycles); d == 0 {
+		t.Error("counter never recovered after reset")
+	}
+}

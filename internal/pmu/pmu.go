@@ -91,23 +91,43 @@ func (p *PMU) Arm() {
 
 // ReadDelta returns the count of ev accumulated since the last ReadDelta of
 // ev (or Arm) and restarts the counter.
+//
+// A hardware counter is not guaranteed to be monotone in deployment: a
+// perf_event fd can be reset under the reader (PERF_EVENT_IOC_RESET,
+// reset-on-exec), a counter can be reprogrammed by another agent, or a
+// probe can race a wrap. When the source regresses, subtracting would
+// produce a ~2^64 underflow delta that poisons every window downstream, so
+// the PMU instead re-arms at the regressed value and reports a zero delta
+// for the period; counting resumes from the new base on the next probe.
 func (p *PMU) ReadDelta(ev Event) uint64 {
 	cur := p.src.ReadCounter(p.core, ev)
-	d := cur - p.last[ev]
+	last := p.last[ev]
 	p.last[ev] = cur
-	return d
+	if cur < last {
+		return 0
+	}
+	return cur - last
 }
 
 // Peek returns the delta accumulated since the last ReadDelta without
-// restarting the counter.
+// restarting the counter. Like ReadDelta it reports 0 (rather than an
+// underflow) when the source has regressed below the armed base; the base
+// is left untouched, so the next ReadDelta performs the re-arm.
 func (p *PMU) Peek(ev Event) uint64 {
-	return p.src.ReadCounter(p.core, ev) - p.last[ev]
+	cur := p.src.ReadCounter(p.core, ev)
+	if cur < p.last[ev] {
+		return 0
+	}
+	return cur - p.last[ev]
 }
 
 // Sample is a set of per-event deltas captured by one periodic probe.
+// Values is indexed by Event; events the sampler was not configured for
+// stay zero. The fixed array keeps Probe allocation-free — the probe runs
+// every sampling period and must not create garbage-collector pressure.
 type Sample struct {
 	Period uint64
-	Values map[Event]uint64
+	Values [numEvents]uint64
 }
 
 // Sampler performs periodic probing of a PMU for a configured event set and
@@ -133,14 +153,16 @@ func NewSampler(pmu *PMU, events []Event, record bool) *Sampler {
 }
 
 // Probe reads and restarts every configured event, returning the sample.
-// Each call represents one sampling period (1 ms in the paper).
+// Each call represents one sampling period (1 ms in the paper). The probe
+// itself is allocation-free; only the opt-in recording mode grows state.
 func (s *Sampler) Probe() Sample {
-	sm := Sample{Period: s.period, Values: make(map[Event]uint64, len(s.events))}
+	sm := Sample{Period: s.period}
 	for _, e := range s.events {
 		sm.Values[e] = s.pmu.ReadDelta(e)
 	}
 	s.period++
 	if s.record {
+		//caer:allow hotpath recording is opt-in tracing for figure regeneration, not the deployed per-period path
 		s.history = append(s.history, sm)
 	}
 	return sm

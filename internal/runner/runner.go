@@ -52,6 +52,11 @@ type Scenario struct {
 	Latency spec.Profile
 	// Batch is the throughput adversary; zero value means lbm.
 	Batch spec.Profile
+	// ExtraBatches adds further batch adversaries on cores 2, 3, ... beyond
+	// the primary batch on core 1 (ignored in ModeAlone). Under ModeCAER
+	// each extra batch gets its own engine; the Result's decision counters
+	// aggregate over all of them.
+	ExtraBatches []spec.Profile
 	// Mode selects alone / native / CAER execution.
 	Mode Mode
 	// Heuristic selects the CAER pairing when Mode == ModeCAER.
@@ -83,8 +88,8 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Config.WindowSize == 0 {
 		s.Config = caer.DefaultConfig()
 	}
-	if s.Cores == 0 {
-		s.Cores = 2
+	if need := 2 + len(s.ExtraBatches); s.Cores < need {
+		s.Cores = need
 	}
 	if s.MaxPeriods == 0 {
 		s.MaxPeriods = 10_000_000
@@ -93,8 +98,12 @@ func (s Scenario) withDefaults() Scenario {
 }
 
 // batchBase places the batch application's footprint far from the latency
-// application's (they are separate processes and share no data).
-const batchBase = 1 << 28
+// application's (they are separate processes and share no data); extra
+// batches are spread extraBatchStride apart above it.
+const (
+	batchBase        = 1 << 28
+	extraBatchStride = 1 << 26
+)
 
 // Result is one scenario's outcome.
 type Result struct {
@@ -109,22 +118,27 @@ type Result struct {
 	// LatencyInstructions / LatencyMisses are the latency app's totals.
 	LatencyInstructions uint64
 	LatencyMisses       uint64
-	// BatchInstructions / BatchMisses are the batch app's totals over the
-	// same wall-clock window (0 in ModeAlone).
+	// BatchInstructions / BatchMisses are the batch apps' totals over the
+	// same wall-clock window, summed across every batch core (0 in
+	// ModeAlone).
 	BatchInstructions uint64
 	BatchMisses       uint64
 
-	// BatchDuty is the batch core's R/(R+I) over the run — the paper's
+	// BatchDuty is the batch cores' mean R/(R+I) over the run — the paper's
 	// "utilization gained" by allowing co-location (0 in ModeAlone, 1 in
 	// unmanaged co-location).
 	BatchDuty float64
 	// ChipUtilization is Equation 1 over the occupied cores.
 	ChipUtilization float64
 
-	// Engine decision counters (CAER runs only).
+	// Engine decision counters (CAER runs only), aggregated across every
+	// engine — with ExtraBatches there is one engine per batch application.
 	CPositive, CNegative, PausedPeriods uint64
-	// DecisionLog holds the engine's most recent decisions (CAER runs
-	// only; bounded by the engine's log capacity).
+	// EngineLogs holds each engine's most recent decisions in batch-core
+	// order (CAER runs only; each bounded by the engine's log capacity).
+	EngineLogs [][]caer.Event
+	// DecisionLog is EngineLogs[0] — the primary batch engine's log, kept
+	// for the common single-batch case.
 	DecisionLog []caer.Event
 	// Relaunches counts batch restarts.
 	Relaunches int
@@ -177,29 +191,65 @@ func runAlone(s Scenario) Result {
 	return res
 }
 
+// batchSpec is one batch adversary's placement: its profile, core, and
+// footprint base address.
+type batchSpec struct {
+	prof spec.Profile
+	core int
+	base uint64
+}
+
+// batchSpecs returns every batch adversary with its placement: the primary
+// on core 1, the extras on cores 2, 3, ...
+func (s Scenario) batchSpecs() []batchSpec {
+	out := make([]batchSpec, 0, 1+len(s.ExtraBatches))
+	out = append(out, batchSpec{s.Batch, 1, batchBase})
+	for i, p := range s.ExtraBatches {
+		out = append(out, batchSpec{p, 2 + i, batchBase + uint64(i+1)*extraBatchStride})
+	}
+	return out
+}
+
+// fillBatchTotals sums the batch cores' counters into res.
+func fillBatchTotals(res *Result, m *machine.Machine, cores []int) {
+	var duty float64
+	for _, c := range cores {
+		res.BatchInstructions += m.ReadCounter(c, pmu.EventInstrRetired)
+		res.BatchMisses += m.ReadCounter(c, pmu.EventLLCMisses)
+		duty += m.Core(c).Utilization()
+	}
+	res.BatchDuty = duty / float64(len(cores))
+	res.ChipUtilization = m.Utilization(1 + len(cores))
+}
+
 func runNative(s Scenario) Result {
 	m := newMachine(s)
 	lat := s.Latency.NewProcess(0, s.Seed)
-	batch := s.Batch.Batch().NewProcess(batchBase, s.Seed+1)
 	m.Bind(0, lat)
-	m.Bind(1, batch)
+	specs := s.batchSpecs()
+	batches := make([]*machine.Process, len(specs))
+	cores := make([]int, len(specs))
+	for i, b := range specs {
+		batches[i] = b.prof.Batch().NewProcess(b.base, s.Seed+1+int64(i))
+		m.Bind(b.core, batches[i])
+		cores[i] = b.core
+	}
 	res := Result{Scenario: s}
 	for p := 0; p < s.MaxPeriods && !lat.Done(); p++ {
 		m.RunPeriod()
-		if batch.Done() {
-			m.Hierarchy().FlushCore(1)
-			batch.Relaunch()
-			res.Relaunches++
+		for i, b := range batches {
+			if b.Done() {
+				m.Hierarchy().FlushCore(cores[i])
+				b.Relaunch()
+				res.Relaunches++
+			}
 		}
 	}
 	res.Completed = lat.Done()
 	res.Periods = m.Periods()
 	res.LatencyInstructions = lat.Retired()
 	res.LatencyMisses = m.ReadCounter(0, pmu.EventLLCMisses)
-	res.BatchInstructions = m.ReadCounter(1, pmu.EventInstrRetired)
-	res.BatchMisses = m.ReadCounter(1, pmu.EventLLCMisses)
-	res.BatchDuty = m.Core(1).Utilization()
-	res.ChipUtilization = m.Utilization(2)
+	fillBatchTotals(&res, m, cores)
 	return res
 }
 
@@ -212,22 +262,29 @@ func runCAER(s Scenario) Result {
 	rt := caer.NewRuntime(m, s.Heuristic, s.Config, opts...)
 	lat := s.Latency.NewProcess(0, s.Seed)
 	rt.AddLatency(spec.ShortName(s.Latency.Name), 0, lat)
-	rt.AddBatch(spec.ShortName(s.Batch.Name), 1, s.Batch.Batch().NewProcess(batchBase, s.Seed+1))
+	specs := s.batchSpecs()
+	cores := make([]int, len(specs))
+	for i, b := range specs {
+		rt.AddBatch(spec.ShortName(b.prof.Name), b.core, b.prof.Batch().NewProcess(b.base, s.Seed+1+int64(i)))
+		cores[i] = b.core
+	}
 	rt.RunUntil(lat.Done, s.MaxPeriods)
 	res := Result{Scenario: s}
 	res.Completed = lat.Done()
 	res.Periods = m.Periods()
 	res.LatencyInstructions = lat.Retired()
 	res.LatencyMisses = m.ReadCounter(0, pmu.EventLLCMisses)
-	res.BatchInstructions = m.ReadCounter(1, pmu.EventInstrRetired)
-	res.BatchMisses = m.ReadCounter(1, pmu.EventLLCMisses)
-	res.BatchDuty = m.Core(1).Utilization()
-	res.ChipUtilization = m.Utilization(2)
-	st := rt.Engines()[0].Stats()
-	res.CPositive = st.CPositive
-	res.CNegative = st.CNegative
-	res.PausedPeriods = st.PausedPeriods
-	res.DecisionLog = rt.Engines()[0].Log().Events()
+	fillBatchTotals(&res, m, cores)
+	// Aggregate the decision counters over every engine: reading only
+	// engines[0] under-reports whenever more than one batch is managed.
+	for _, eng := range rt.Engines() {
+		st := eng.Stats()
+		res.CPositive += st.CPositive
+		res.CNegative += st.CNegative
+		res.PausedPeriods += st.PausedPeriods
+		res.EngineLogs = append(res.EngineLogs, eng.Log().Events())
+	}
+	res.DecisionLog = res.EngineLogs[0]
 	res.Relaunches = rt.Relaunches()
 	return res
 }

@@ -254,3 +254,90 @@ func TestRunDVFSActuatorScenario(t *testing.T) {
 		t.Errorf("DVFS batch duty = %.3f, suspiciously low", r.BatchDuty)
 	}
 }
+
+// countVerdicts tallies verdict events in a decision log.
+func countVerdicts(events []caer.Event) (pos, neg uint64) {
+	for _, ev := range events {
+		if ev.Kind != caer.EventVerdict {
+			continue
+		}
+		if ev.Verdict == caer.VerdictContention {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+// TestRunCAERMultiBatchAggregates is the regression test for the
+// engines[0]-only reporting bug: with a second batch application the
+// Result's decision counters must cover both engines, not just the first.
+func TestRunCAERMultiBatchAggregates(t *testing.T) {
+	lat := fastProfile(t, "mcf", 400_000)
+	s := Scenario{
+		Latency:      lat,
+		Mode:         ModeCAER,
+		Heuristic:    caer.HeuristicRule,
+		ExtraBatches: []spec.Profile{spec.LBM()},
+		Seed:         3,
+	}
+	r := Run(s)
+	if !r.Completed {
+		t.Fatal("multi-batch CAER run did not complete")
+	}
+	if r.Scenario.Cores != 3 {
+		t.Errorf("cores = %d, want 3 (latency + 2 batches)", r.Scenario.Cores)
+	}
+	if len(r.EngineLogs) != 2 {
+		t.Fatalf("EngineLogs count = %d, want one per batch engine (2)", len(r.EngineLogs))
+	}
+	if len(r.DecisionLog) == 0 || &r.DecisionLog[0] != &r.EngineLogs[0][0] {
+		t.Error("DecisionLog is not the primary engine's log")
+	}
+
+	// The aggregated counters must equal the sum of both engines' verdicts.
+	// (The bounded log would truncate a long run; this run is short enough
+	// that every verdict is still present.)
+	var wantPos, wantNeg uint64
+	for _, log := range r.EngineLogs {
+		p, n := countVerdicts(log)
+		wantPos += p
+		wantNeg += n
+	}
+	if r.CPositive != wantPos || r.CNegative != wantNeg {
+		t.Errorf("aggregated verdicts = %d/%d, logs say %d/%d", r.CPositive, r.CNegative, wantPos, wantNeg)
+	}
+
+	// And they must exceed what engine 0 alone reports — the old bug.
+	p0, n0 := countVerdicts(r.EngineLogs[0])
+	if r.CPositive+r.CNegative <= p0+n0 {
+		t.Errorf("aggregate %d verdicts not above engine 0's %d: still single-engine reporting",
+			r.CPositive+r.CNegative, p0+n0)
+	}
+	if r.BatchInstructions == 0 || r.BatchDuty <= 0 || r.BatchDuty > 1 {
+		t.Errorf("batch totals = %d instructions, duty %.3f", r.BatchInstructions, r.BatchDuty)
+	}
+}
+
+// TestRunNativeMultiBatch checks the unmanaged path places and accounts the
+// extra adversaries too.
+func TestRunNativeMultiBatch(t *testing.T) {
+	lat := fastProfile(t, "mcf", 200_000)
+	single := Run(Scenario{Latency: lat, Mode: ModeNativeColo, Seed: 3})
+	double := Run(Scenario{Latency: lat, Mode: ModeNativeColo,
+		ExtraBatches: []spec.Profile{spec.LBM()}, Seed: 3})
+	if !single.Completed || !double.Completed {
+		t.Fatal("native runs did not complete")
+	}
+	if double.Scenario.Cores != 3 {
+		t.Errorf("cores = %d, want 3", double.Scenario.Cores)
+	}
+	if double.Periods < single.Periods {
+		t.Errorf("two adversaries finished faster than one: %d < %d periods", double.Periods, single.Periods)
+	}
+	if double.BatchInstructions <= single.BatchInstructions {
+		t.Errorf("two batch cores retired %d instructions, one retired %d",
+			double.BatchInstructions, single.BatchInstructions)
+	}
+}
