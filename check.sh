@@ -11,3 +11,8 @@ go test -race ./...
 # Chaos gate: the fault-injection regimes (DESIGN.md §8) in short mode —
 # every fault class must fail open under every heuristic.
 go run ./cmd/caer-bench -chaos -quick > /dev/null
+# Scheduler gate: the placement regimes (DESIGN.md §9) in short mode —
+# contention-aware placement must beat round-robin at equal throughput
+# (asserted by the experiments suite test; this exercises the artifact path).
+go run ./cmd/caer-bench -sched -quick > /dev/null
+rm -f BENCH_sched.json

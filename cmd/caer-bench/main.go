@@ -8,7 +8,7 @@
 //	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
-//	           [-chaos]
+//	           [-chaos] [-sched]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
 // run; the published numbers in EXPERIMENTS.md use the full lengths.
@@ -18,6 +18,12 @@
 // crashes) against the shutter, rule-based, and hybrid pairings. When -fig
 // is not given explicitly, -chaos skips the figures and prints only the
 // chaos table.
+//
+// -sched runs the scheduler regime suite (DESIGN.md §9): the same latency
+// service and job mix compared across placement policies on a 2-LLC-domain
+// machine, printed as a table and written as machine-readable
+// BENCH_sched.json (into -csv DIR when given, else the working directory).
+// Like -chaos, it skips the figures unless -fig is set explicitly.
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink benchmark lengths 8x for a fast smoke run")
 	ablation := flag.String("ablation", "", "additionally run ablations: partition, response, tuning, adversary, multiapp (comma-separated or 'all')")
 	chaos := flag.Bool("chaos", false, "run the fault-injection regime suite (skips figures unless -fig is set explicitly)")
+	schedFlag := flag.Bool("sched", false, "run the scheduler regime suite and write BENCH_sched.json (skips figures unless -fig is set explicitly)")
 	flag.Parse()
 
 	figSetExplicitly := false
@@ -66,7 +73,7 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	if *chaos && !figSetExplicitly {
+	if (*chaos || *schedFlag) && !figSetExplicitly {
 		want = map[string]bool{}
 	}
 	all := want["all"]
@@ -189,6 +196,26 @@ func main() {
 			}
 		}
 		fmt.Fprintf(out, "\nall regimes fail open: latency app completed under every fault class\n")
+	}
+	if *schedFlag {
+		fmt.Fprintf(out, "\n")
+		regime := experiments.SchedRegimeSuite(*seed, *quick)
+		if err := regime.Render(out); err != nil {
+			fatalf("render scheduler regimes: %v", err)
+		}
+		path := "BENCH_sched.json"
+		if *csvDir != "" {
+			path = filepath.Join(*csvDir, path)
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		if err := regime.WriteJSON(fh); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fh.Close()
+		fmt.Fprintf(out, "[wrote %s]\n", path)
 	}
 	fmt.Fprintf(out, "\n[%s elapsed]\n", time.Since(start).Round(time.Millisecond))
 }

@@ -80,6 +80,16 @@ func DefaultConfig() *Config {
 			"pmu.PMU.ReadDelta", "pmu.PMU.Peek", "pmu.Sampler.Probe",
 			// Simulated hardware counter read feeding the PMU.
 			"machine.Machine.ReadCounter",
+			// Contention classifier: per-period profile updates and the
+			// score reads the placement scorer calls per queue decision.
+			"sched.Classifier.Observe", "sched.Classifier.ObserveVerdict",
+			"sched.Classifier.Aggressiveness", "sched.Classifier.Sensitivity",
+			// Scheduler per-period loop. Decision-taking paths (admitTo,
+			// finishJobs, maybeMigrate) record decisions and rebuild
+			// engines — they allocate by design and are NOT hot.
+			"sched.Scheduler.Step", "sched.Scheduler.observePeriod",
+			"sched.Scheduler.tickEngines", "sched.Scheduler.applyDirectives",
+			"sched.Scheduler.fillViews", "sched.Scheduler.ageQueue",
 		},
 		AllocFuncs: []string{
 			"Slot.Samples", "ShmTable.Samples", "Window.Snapshot",
@@ -90,6 +100,7 @@ func DefaultConfig() *Config {
 			"caer.Verdict", "caer.HeuristicKind", "caer.EventKind",
 			"pmu.Event", "runner.Mode", "spec.Sensitivity",
 			"experiments.FaultKind",
+			"sched.Policy", "sched.JobState", "sched.DecisionKind",
 		},
 		EnumIgnorePrefixes: []string{"num"},
 	}

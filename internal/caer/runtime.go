@@ -136,8 +136,9 @@ type Runtime struct {
 	enginePM []*pmu.PMU
 	actuator Actuator
 
-	relaunches int
-	started    bool
+	relaunches      int
+	batchRelaunches []int // per batch application, in registration order
+	started         bool
 }
 
 // Option customizes a Runtime.
@@ -198,6 +199,14 @@ func (rt *Runtime) Monitors() []*Monitor { return rt.monitors }
 // relaunched.
 func (rt *Runtime) Relaunches() int { return rt.relaunches }
 
+// BatchRelaunches returns each batch application's relaunch count, in
+// registration order (nil before the first Step).
+func (rt *Runtime) BatchRelaunches() []int {
+	out := make([]int, len(rt.batchRelaunches))
+	copy(out, rt.batchRelaunches)
+	return out
+}
+
 // AddLatency binds a latency-sensitive application to a core under a
 // CAER-M monitor. The application itself is never modified.
 func (rt *Runtime) AddLatency(name string, core int, proc *machine.Process) {
@@ -238,6 +247,7 @@ func (rt *Runtime) start() {
 		rt.engines = append(rt.engines, eng)
 		rt.enginePM = append(rt.enginePM, pmu.New(rt.src, b.core))
 	}
+	rt.batchRelaunches = make([]int, len(rt.batch))
 	rt.started = true
 }
 
@@ -266,12 +276,14 @@ func (rt *Runtime) Step() {
 		}
 	}
 	rt.table.BroadcastDirective(combined)
-	for _, b := range rt.batch {
+	for i := range rt.batch {
+		b := &rt.batch[i]
 		rt.actuator(rt.m.Core(b.core), combined)
 		if b.proc.Done() {
-			rt.m.Hierarchy().FlushCore(b.core)
+			rt.m.FlushCore(b.core)
 			b.proc.Relaunch()
 			rt.relaunches++
+			rt.batchRelaunches[i]++
 		}
 	}
 }

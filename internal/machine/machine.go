@@ -10,6 +10,11 @@
 // that their reference streams contend in the shared L3 the way truly
 // parallel cores do.
 //
+// A machine may be split into several LLC domains (Config.Domains), each a
+// contiguous block of cores over its own hierarchy instance — the
+// multi-socket shape the contention-aware placement subsystem
+// (internal/sched) schedules over. Cores only contend within their domain.
+//
 // The machine implements pmu.Source; the CAER runtime reads counters only
 // through that interface.
 package machine
@@ -159,10 +164,18 @@ func (c *Core) Utilization() float64 {
 // Config describes a machine.
 type Config struct {
 	// Hierarchy configures the memory system; zero value uses
-	// mem.DefaultHierarchyConfig(Cores).
+	// mem.DefaultHierarchyConfig for the per-domain core count. With
+	// Domains > 1 it acts as the per-domain template and its Cores field,
+	// if set, must equal Cores/Domains.
 	Hierarchy mem.HierarchyConfig
-	// Cores is the core count when Hierarchy is zero.
+	// Cores is the total core count when Hierarchy is zero.
 	Cores int
+	// Domains splits the cores into this many LLC domains (sockets /
+	// L3 slices). Each domain owns a contiguous block of Cores/Domains
+	// cores and its own mem.Hierarchy — private caches, shared L3, and
+	// memory channel — so cross-domain processes never contend. Default 1,
+	// the paper's single-socket testbed.
+	Domains int
 	// PeriodCycles is the scaled "1 ms" sampling period. Default 60000.
 	PeriodCycles uint64
 	// SlicesPerPeriod controls intra-period interleaving granularity.
@@ -175,22 +188,39 @@ type Config struct {
 
 // Machine is the simulated multicore CPU.
 type Machine struct {
-	hier    *mem.Hierarchy
-	cores   []*Core
-	period  uint64
-	slices  int
-	now     uint64 // absolute cycle clock
-	periods uint64 // completed periods
+	hiers     []*mem.Hierarchy // one per LLC domain
+	perDomain int              // cores per domain
+	cores     []*Core
+	period    uint64
+	slices    int
+	now       uint64 // absolute cycle clock
+	periods   uint64 // completed periods
 }
 
 // New constructs a machine. It panics on invalid configuration.
 func New(cfg Config) *Machine {
+	if cfg.Domains == 0 {
+		cfg.Domains = 1
+	}
+	if cfg.Domains < 1 {
+		panic(fmt.Sprintf("machine: domain count %d must be positive", cfg.Domains))
+	}
+	total := cfg.Cores
+	if total == 0 && cfg.Hierarchy.Cores != 0 {
+		total = cfg.Hierarchy.Cores * cfg.Domains
+	}
+	if total <= 0 {
+		panic("machine: config needs Cores or a Hierarchy")
+	}
+	if total%cfg.Domains != 0 {
+		panic(fmt.Sprintf("machine: %d cores not divisible into %d domains", total, cfg.Domains))
+	}
+	perDomain := total / cfg.Domains
 	h := cfg.Hierarchy
 	if h.Cores == 0 {
-		if cfg.Cores <= 0 {
-			panic("machine: config needs Cores or a Hierarchy")
-		}
-		h = mem.DefaultHierarchyConfig(cfg.Cores)
+		h = mem.DefaultHierarchyConfig(perDomain)
+	} else if h.Cores != perDomain {
+		panic(fmt.Sprintf("machine: hierarchy spans %d cores but each of %d domains owns %d", h.Cores, cfg.Domains, perDomain))
 	}
 	if cfg.PeriodCycles == 0 {
 		cfg.PeriodCycles = 60000
@@ -202,10 +232,14 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: invalid period %d / slices %d", cfg.PeriodCycles, cfg.SlicesPerPeriod))
 	}
 	m := &Machine{
-		hier:   mem.NewHierarchy(h),
-		cores:  make([]*Core, h.Cores),
-		period: cfg.PeriodCycles,
-		slices: cfg.SlicesPerPeriod,
+		hiers:     make([]*mem.Hierarchy, cfg.Domains),
+		perDomain: perDomain,
+		cores:     make([]*Core, total),
+		period:    cfg.PeriodCycles,
+		slices:    cfg.SlicesPerPeriod,
+	}
+	for d := range m.hiers {
+		m.hiers[d] = mem.NewHierarchy(h)
 	}
 	for i := range m.cores {
 		m.cores[i] = &Core{id: i, freqDiv: 1}
@@ -213,8 +247,34 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// Hierarchy exposes the memory system.
-func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+// Hierarchy exposes the memory system of domain 0 — the whole machine on
+// the default single-domain configuration. Multi-domain callers should use
+// DomainHierarchy and route cores with DomainOf/LocalCore.
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hiers[0] }
+
+// Domains returns the LLC domain count.
+func (m *Machine) Domains() int { return len(m.hiers) }
+
+// DomainHierarchy exposes domain d's memory system.
+func (m *Machine) DomainHierarchy(d int) *mem.Hierarchy { return m.hiers[d] }
+
+// DomainOf returns the LLC domain owning the core.
+func (m *Machine) DomainOf(core int) int { return core / m.perDomain }
+
+// LocalCore translates a global core id into its index within its domain's
+// hierarchy (which is sized for the domain's cores only).
+func (m *Machine) LocalCore(core int) int { return core % m.perDomain }
+
+// DomainCores returns the half-open global core range [lo, hi) of domain d.
+func (m *Machine) DomainCores(d int) (lo, hi int) {
+	return d * m.perDomain, (d + 1) * m.perDomain
+}
+
+// FlushCore empties the core's private caches and its lines in its domain's
+// shared L3 (process teardown / migration off the core).
+func (m *Machine) FlushCore(core int) {
+	m.hiers[core/m.perDomain].FlushCore(core % m.perDomain)
+}
 
 // Core returns core i.
 func (m *Machine) Core(i int) *Core { return m.cores[i] }
@@ -296,7 +356,7 @@ func (m *Machine) runSlice(c *Core, at, budget uint64) {
 		if p.memAcc >= 1 {
 			p.memAcc -= 1
 			a := p.gen.Next(p.rng)
-			res := m.hier.Access(c.id, a.Addr, a.Write, at+used)
+			res := m.hiers[c.id/m.perDomain].Access(c.id%m.perDomain, a.Addr, a.Write, at+used)
 			cost = res.Latency
 		} else {
 			p.cpiAcc += p.prof.BaseCPI
@@ -323,17 +383,19 @@ func (m *Machine) runSlice(c *Core, at, budget uint64) {
 
 // ReadCounter implements pmu.Source over the simulated hardware.
 func (m *Machine) ReadCounter(core int, ev pmu.Event) uint64 {
+	h := m.hiers[core/m.perDomain]
+	local := core % m.perDomain
 	switch ev {
 	case pmu.EventLLCMisses:
-		return m.hier.LLCMisses(core)
+		return h.LLCMisses(local)
 	case pmu.EventLLCAccesses:
-		return m.hier.LLCAccesses(core)
+		return h.LLCAccesses(local)
 	case pmu.EventInstrRetired:
 		return m.cores[core].instrRet
 	case pmu.EventCycles:
 		return m.cores[core].busy
 	case pmu.EventL2Misses:
-		return m.hier.L2Misses(core)
+		return h.L2Misses(local)
 	default:
 		panic(fmt.Sprintf("machine: unknown PMU event %v", ev))
 	}

@@ -380,3 +380,123 @@ func TestCoreIDAndProfileAccessors(t *testing.T) {
 		t.Error("default freq divisor != 1")
 	}
 }
+
+// basedStreamProc is streamProc with a footprint base, so co-located test
+// processes never share data (the paper's multiprogrammed workloads).
+func basedStreamProc(name string, base, instrs, ws uint64) *Process {
+	return NewProcess(name,
+		ExecProfile{MemFraction: 0.3, BaseCPI: 1, Instructions: instrs},
+		workload.NewStream(base, ws, 1, 0), 1)
+}
+
+func TestDomainTopology(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Domains = 2 // 2 cores per domain, 4 total
+	m := New(cfg)
+	if m.Cores() != 4 || m.Domains() != 2 {
+		t.Fatalf("topology = %d cores / %d domains, want 4/2", m.Cores(), m.Domains())
+	}
+	for core, want := range []int{0, 0, 1, 1} {
+		if got := m.DomainOf(core); got != want {
+			t.Errorf("DomainOf(%d) = %d, want %d", core, got, want)
+		}
+	}
+	for core, want := range []int{0, 1, 0, 1} {
+		if got := m.LocalCore(core); got != want {
+			t.Errorf("LocalCore(%d) = %d, want %d", core, got, want)
+		}
+	}
+	if lo, hi := m.DomainCores(0); lo != 0 || hi != 2 {
+		t.Errorf("DomainCores(0) = [%d,%d), want [0,2)", lo, hi)
+	}
+	if lo, hi := m.DomainCores(1); lo != 2 || hi != 4 {
+		t.Errorf("DomainCores(1) = [%d,%d), want [2,4)", lo, hi)
+	}
+	if m.DomainHierarchy(0) == m.DomainHierarchy(1) {
+		t.Error("domains share a hierarchy")
+	}
+	if m.Hierarchy() != m.DomainHierarchy(0) {
+		t.Error("Hierarchy() is not domain 0's hierarchy")
+	}
+}
+
+func TestDomainValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("indivisible cores", func() { New(Config{Cores: 7, Domains: 2}) })
+	mustPanic("negative domains", func() { New(Config{Cores: 4, Domains: -1}) })
+	mustPanic("hierarchy/domain mismatch", func() {
+		cfg := smallConfig(4) // hierarchy spans 4 cores
+		cfg.Cores = 8
+		cfg.Domains = 4 // but each domain owns 2
+		New(cfg)
+	})
+}
+
+// TestDomainIsolation pins the property the sched placement engine exploits:
+// a cache-thrashing aggressor degrades an L3-resident victim sharing its LLC
+// domain, and does not touch one on the other domain.
+func TestDomainIsolation(t *testing.T) {
+	run := func(aggrCore int) (retired, misses uint64) {
+		cfg := smallConfig(2)
+		cfg.Domains = 2
+		m := New(cfg)
+		victim := basedStreamProc("victim", 0, 0, 48)   // fits the 64-line L3
+		aggr := basedStreamProc("aggr", 1<<20, 0, 4096) // thrashes any L3
+		m.Bind(0, victim)
+		m.Bind(aggrCore, aggr)
+		for i := 0; i < 50; i++ {
+			m.RunPeriod()
+		}
+		return victim.Retired(), m.ReadCounter(0, pmu.EventLLCMisses)
+	}
+	coloRetired, coloMisses := run(1)   // same domain as the victim
+	splitRetired, splitMisses := run(2) // other domain
+	if splitRetired <= coloRetired {
+		t.Errorf("split-domain victim retired %d <= co-located %d (no isolation)", splitRetired, coloRetired)
+	}
+	if splitMisses >= coloMisses {
+		t.Errorf("split-domain victim missed %d >= co-located %d (aggressor leaked across domains)", splitMisses, coloMisses)
+	}
+}
+
+// TestFlushCoreDomainScoped pins that FlushCore empties the flushed core's
+// cache state and only its own domain's.
+func TestFlushCoreDomainScoped(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Domains = 2
+	m := New(cfg)
+	a := basedStreamProc("a", 0, 0, 48)
+	b := basedStreamProc("b", 1<<20, 0, 48)
+	m.Bind(0, a)
+	m.Bind(2, b)
+	for i := 0; i < 20; i++ {
+		m.RunPeriod() // warm both working sets
+	}
+	warmBase := m.ReadCounter(0, pmu.EventLLCMisses)
+	m.RunPeriod()
+	warmDelta := m.ReadCounter(0, pmu.EventLLCMisses) - warmBase
+
+	// Flushing the *other* domain's core leaves core 0 warm.
+	m.FlushCore(2)
+	base := m.ReadCounter(0, pmu.EventLLCMisses)
+	m.RunPeriod()
+	if delta := m.ReadCounter(0, pmu.EventLLCMisses) - base; delta > warmDelta+4 {
+		t.Errorf("flushing core 2 cooled core 0: %d misses/period, warm baseline %d", delta, warmDelta)
+	}
+
+	// Flushing core 0 itself makes its next period cold.
+	m.FlushCore(0)
+	base = m.ReadCounter(0, pmu.EventLLCMisses)
+	m.RunPeriod()
+	if delta := m.ReadCounter(0, pmu.EventLLCMisses) - base; delta <= warmDelta {
+		t.Errorf("flushing core 0 had no effect: %d misses/period, warm baseline %d", delta, warmDelta)
+	}
+}

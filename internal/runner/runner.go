@@ -16,6 +16,7 @@ import (
 	"caer/internal/caer"
 	"caer/internal/machine"
 	"caer/internal/pmu"
+	"caer/internal/sched"
 	"caer/internal/spec"
 )
 
@@ -30,6 +31,11 @@ const (
 	ModeNativeColo
 	// ModeCAER co-locates both applications under a CAER heuristic.
 	ModeCAER
+	// ModeScheduled runs the latency app(s) as pinned services on a
+	// multi-LLC-domain machine while the batch work flows through
+	// internal/sched's admission queue and placement engine; each placed
+	// job still runs under a per-domain CAER engine.
+	ModeScheduled
 )
 
 // String names the mode.
@@ -41,6 +47,8 @@ func (m Mode) String() string {
 		return "native-colo"
 	case ModeCAER:
 		return "caer"
+	case ModeScheduled:
+		return "scheduled"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -50,7 +58,9 @@ func (m Mode) String() string {
 type Scenario struct {
 	// Latency is the latency-sensitive benchmark (runs to completion).
 	Latency spec.Profile
-	// Batch is the throughput adversary; zero value means lbm.
+	// Batch is the throughput adversary; the zero value (detected by an
+	// empty Name) means lbm, the paper's adversary. Pinned by
+	// TestScenarioZeroValueBatchIsLBM.
 	Batch spec.Profile
 	// ExtraBatches adds further batch adversaries on cores 2, 3, ... beyond
 	// the primary batch on core 1 (ignored in ModeAlone). Under ModeCAER
@@ -79,6 +89,26 @@ type Scenario struct {
 	// cache partitioning); 0 disables partitioning. Only meaningful for
 	// co-located modes.
 	PartitionWays int
+
+	// Scheduled-mode knobs (Mode == ModeScheduled; ignored otherwise).
+
+	// Domains splits the machine's cores into LLC domains; zero means 2.
+	// Cores defaults to 4*Domains in scheduled mode and must divide evenly.
+	Domains int
+	// ExtraLatencies adds further latency-sensitive services beyond Latency
+	// (which runs on core 0 of domain 0): extra i is pinned to the first
+	// free core of domain (i+1) mod Domains, so services spread across
+	// domains.
+	ExtraLatencies []spec.Profile
+	// Jobs are the finite batch work items submitted to the admission
+	// queue before the run starts, in order. Their Instructions counts are
+	// used as-is (they run to completion once and are not relaunched).
+	Jobs []spec.Profile
+	// Sched configures the placement/admission subsystem: policy,
+	// thresholds, aging bound, migration rate. Its Heuristic and Caer
+	// fields are overridden by the scenario's Heuristic and Config so the
+	// engine setup matches the other modes.
+	Sched sched.Config
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -88,7 +118,14 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Config.WindowSize == 0 {
 		s.Config = caer.DefaultConfig()
 	}
-	if need := 2 + len(s.ExtraBatches); s.Cores < need {
+	if s.Mode == ModeScheduled {
+		if s.Domains == 0 {
+			s.Domains = 2
+		}
+		if s.Cores == 0 {
+			s.Cores = 4 * s.Domains
+		}
+	} else if need := 2 + len(s.ExtraBatches); s.Cores < need {
 		s.Cores = need
 	}
 	if s.MaxPeriods == 0 {
@@ -142,6 +179,59 @@ type Result struct {
 	DecisionLog []caer.Event
 	// Relaunches counts batch restarts.
 	Relaunches int
+
+	// BatchResults breaks the batch-side outcome down per application: one
+	// entry per batch core (native/CAER modes, placement order) or per
+	// submitted job (scheduled mode, submission order). Empty in ModeAlone.
+	BatchResults []BatchResult
+
+	// Scheduled-mode outcome (Mode == ModeScheduled; zero otherwise).
+
+	// SchedDecisions is the scheduler's admission/migration/completion
+	// timeline.
+	SchedDecisions []sched.Decision
+	// JobsCompleted counts submitted jobs that ran to completion — the
+	// admitted batch throughput the regime suite holds equal across
+	// policies.
+	JobsCompleted int
+	// MaxWait is the longest any job waited in the admission queue
+	// (periods); bounded by Sched.AgingBound while cores are free.
+	MaxWait int
+	// Migrations counts cross-domain job moves.
+	Migrations int
+}
+
+// BatchResult is one batch application's (or scheduled job's) outcome.
+type BatchResult struct {
+	Name   string
+	Core   int // -1 if the job was never placed
+	Domain int // LLC domain of Core (-1 if never placed)
+
+	// Instructions and Misses are the application's own totals (per
+	// process, not per core, so scheduled-mode migration and core reuse do
+	// not mix applications).
+	Instructions uint64
+	Misses       uint64
+
+	// PausedPeriods / RunPeriods are its engine's actuation totals (zero
+	// when it ran unmanaged: native mode, or a scheduled job on a domain
+	// with no latency app). CPositive/CNegative are its engine's verdicts.
+	PausedPeriods, RunPeriods uint64
+	CPositive, CNegative      uint64
+
+	// Relaunches counts restarts (service batches only; scheduled jobs
+	// run once).
+	Relaunches int
+
+	// Scheduled-mode lifecycle: queue wait, forced-aging flag, admission /
+	// completion periods (1-based, 0 = never), migration count, and
+	// whether the job finished within the run.
+	Waited     int
+	Aged       bool
+	Admitted   uint64
+	DonePeriod uint64
+	Completed  bool
+	Migrations int
 }
 
 // Run executes the scenario to completion (or MaxPeriods) and returns the
@@ -155,6 +245,8 @@ func Run(s Scenario) Result {
 		return runNative(s)
 	case ModeCAER:
 		return runCAER(s)
+	case ModeScheduled:
+		return runScheduled(s)
 	default:
 		panic(fmt.Sprintf("runner: unknown mode %d", int(s.Mode)))
 	}
@@ -235,13 +327,15 @@ func runNative(s Scenario) Result {
 		cores[i] = b.core
 	}
 	res := Result{Scenario: s}
+	relaunches := make([]int, len(batches))
 	for p := 0; p < s.MaxPeriods && !lat.Done(); p++ {
 		m.RunPeriod()
 		for i, b := range batches {
 			if b.Done() {
-				m.Hierarchy().FlushCore(cores[i])
+				m.FlushCore(cores[i])
 				b.Relaunch()
 				res.Relaunches++
+				relaunches[i]++
 			}
 		}
 	}
@@ -250,6 +344,16 @@ func runNative(s Scenario) Result {
 	res.LatencyInstructions = lat.Retired()
 	res.LatencyMisses = m.ReadCounter(0, pmu.EventLLCMisses)
 	fillBatchTotals(&res, m, cores)
+	for i, b := range specs {
+		res.BatchResults = append(res.BatchResults, BatchResult{
+			Name:         spec.ShortName(b.prof.Name),
+			Core:         b.core,
+			Domain:       m.DomainOf(b.core),
+			Instructions: m.ReadCounter(b.core, pmu.EventInstrRetired),
+			Misses:       m.ReadCounter(b.core, pmu.EventLLCMisses),
+			Relaunches:   relaunches[i],
+		})
+	}
 	return res
 }
 
@@ -286,5 +390,125 @@ func runCAER(s Scenario) Result {
 	}
 	res.DecisionLog = res.EngineLogs[0]
 	res.Relaunches = rt.Relaunches()
+	perBatch := rt.BatchRelaunches()
+	for i, eng := range rt.Engines() {
+		st := eng.Stats()
+		res.BatchResults = append(res.BatchResults, BatchResult{
+			Name:          spec.ShortName(specs[i].prof.Name),
+			Core:          specs[i].core,
+			Domain:        m.DomainOf(specs[i].core),
+			Instructions:  m.ReadCounter(specs[i].core, pmu.EventInstrRetired),
+			Misses:        m.ReadCounter(specs[i].core, pmu.EventLLCMisses),
+			PausedPeriods: st.PausedPeriods,
+			RunPeriods:    st.RunPeriods,
+			CPositive:     st.CPositive,
+			CNegative:     st.CNegative,
+			Relaunches:    perBatch[i],
+		})
+	}
+	return res
+}
+
+// runScheduled executes the scenario on a multi-LLC-domain machine with
+// the batch side flowing through internal/sched: the latency app(s) are
+// pinned services, the Jobs wait in the admission queue and are placed by
+// the configured policy, each under a per-domain CAER engine. The run ends
+// when the primary latency app completes AND every job has drained (or
+// MaxPeriods).
+func runScheduled(s Scenario) Result {
+	if s.PartitionWays > 0 {
+		panic("runner: PartitionWays is not supported in scheduled mode")
+	}
+	m := machine.New(machine.Config{Cores: s.Cores, Domains: s.Domains})
+	cfg := s.Sched
+	cfg.Heuristic = s.Heuristic
+	cfg.Caer = s.Config
+	sd := sched.New(m, cfg)
+
+	lat := s.Latency.NewProcess(0, s.Seed)
+	sd.AddLatency(spec.ShortName(s.Latency.Name), 0, lat)
+	usedLatency := map[int]bool{0: true}
+	for i, p := range s.ExtraLatencies {
+		d := (i + 1) % s.Domains
+		lo, hi := m.DomainCores(d)
+		core := -1
+		for c := lo; c < hi; c++ {
+			if !usedLatency[c] {
+				core = c
+				break
+			}
+		}
+		if core < 0 {
+			panic(fmt.Sprintf("runner: domain %d has no free core for extra latency app %d", d, i))
+		}
+		usedLatency[core] = true
+		sd.AddLatency(spec.ShortName(p.Name), core,
+			p.NewProcess(uint64(1<<27)+uint64(i)*extraBatchStride, s.Seed+100+int64(i)))
+	}
+	for i, p := range s.Jobs {
+		p := p
+		base := uint64(batchBase) + uint64(i)*extraBatchStride
+		seed := s.Seed + 1 + int64(i)
+		sd.Submit(sched.Job{Name: spec.ShortName(p.Name), New: func() *machine.Process {
+			return p.NewProcess(base, seed)
+		}})
+	}
+
+	sd.RunUntil(func() bool { return lat.Done() && sd.Done() }, s.MaxPeriods)
+
+	res := Result{Scenario: s}
+	res.Completed = lat.Done()
+	res.Periods = sd.LatencyReports()[0].Done
+	if res.Periods == 0 {
+		res.Periods = sd.Period() // latency app never finished: bounded run
+	}
+	res.LatencyInstructions = lat.Retired()
+	res.LatencyMisses = m.ReadCounter(0, pmu.EventLLCMisses)
+	res.SchedDecisions = sd.Decisions()
+	res.MaxWait = sd.MaxWait()
+	res.Migrations = sd.Migrations()
+	res.ChipUtilization = m.Utilization(s.Cores)
+
+	// Batch duty in scheduled mode: the fraction of placed job-periods the
+	// engines let run. Jobs on latency-free domains have no engine and
+	// count as running every period they occupied a core.
+	var run, paused float64
+	for _, r := range sd.JobReports() {
+		br := BatchResult{
+			Name:          r.Name,
+			Core:          r.Core,
+			Domain:        r.Domain,
+			Instructions:  r.Instructions,
+			Misses:        r.Misses,
+			PausedPeriods: r.PausedPeriods,
+			RunPeriods:    r.RunPeriods,
+			CPositive:     r.CPositive,
+			CNegative:     r.CNegative,
+			Waited:        r.Waited,
+			Aged:          r.Aged,
+			Admitted:      r.Admitted,
+			DonePeriod:    r.Done,
+			Completed:     r.State == sched.JobDone,
+			Migrations:    r.Migrations,
+		}
+		res.BatchResults = append(res.BatchResults, br)
+		res.BatchInstructions += r.Instructions
+		res.BatchMisses += r.Misses
+		res.CPositive += r.CPositive
+		res.CNegative += r.CNegative
+		res.PausedPeriods += r.PausedPeriods
+		if br.Completed {
+			res.JobsCompleted++
+		}
+		if r.RunPeriods+r.PausedPeriods > 0 {
+			run += float64(r.RunPeriods)
+			paused += float64(r.PausedPeriods)
+		} else if r.Admitted > 0 && r.Done >= r.Admitted {
+			run += float64(r.Done - r.Admitted + 1)
+		}
+	}
+	if run+paused > 0 {
+		res.BatchDuty = run / (run + paused)
+	}
 	return res
 }

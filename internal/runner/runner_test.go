@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"caer/internal/caer"
+	"caer/internal/sched"
 	"caer/internal/spec"
 )
 
@@ -24,6 +25,7 @@ func TestModeStrings(t *testing.T) {
 		ModeAlone:      "alone",
 		ModeNativeColo: "native-colo",
 		ModeCAER:       "caer",
+		ModeScheduled:  "scheduled",
 		Mode(9):        "Mode(9)",
 	}
 	for m, want := range cases {
@@ -339,5 +341,166 @@ func TestRunNativeMultiBatch(t *testing.T) {
 	if double.BatchInstructions <= single.BatchInstructions {
 		t.Errorf("two batch cores retired %d instructions, one retired %d",
 			double.BatchInstructions, single.BatchInstructions)
+	}
+}
+
+// TestScenarioZeroValueBatchIsLBM pins the documented default: a Scenario
+// whose Batch field is left as the zero value runs against lbm, the
+// paper's adversary. Anything that constructs scenarios (experiments
+// suites, caer-bench) relies on this.
+func TestScenarioZeroValueBatchIsLBM(t *testing.T) {
+	var zero spec.Profile
+	s := Scenario{Latency: spec.LBM(), Batch: zero}.withDefaults()
+	if s.Batch.Name != "470.lbm" {
+		t.Fatalf("zero-value Batch resolved to %q, want 470.lbm", s.Batch.Name)
+	}
+	lbm := spec.LBM()
+	if s.Batch.Exec != lbm.Exec || s.Batch.Class != lbm.Class {
+		t.Error("zero-value Batch did not adopt the full lbm profile")
+	}
+}
+
+func TestScenarioScheduledDefaults(t *testing.T) {
+	s := Scenario{Latency: spec.LBM(), Mode: ModeScheduled}.withDefaults()
+	if s.Domains != 2 || s.Cores != 8 {
+		t.Errorf("scheduled defaults = %d domains / %d cores, want 2/8", s.Domains, s.Cores)
+	}
+}
+
+func TestRunScheduledDrainsJobs(t *testing.T) {
+	lat := fastProfile(t, "mcf", 600_000)
+	job := fastProfile(t, "lbm", 120_000)
+	quiet := fastProfile(t, "povray", 120_000)
+	s := Scenario{
+		Latency:   lat,
+		Mode:      ModeScheduled,
+		Heuristic: caer.HeuristicRule,
+		Jobs:      []spec.Profile{job, quiet, job},
+		Sched:     sched.Config{Policy: sched.PolicyContentionAware, AgingBound: 200},
+		Seed:      7,
+	}
+	res := Run(s)
+	if !res.Completed {
+		t.Fatal("latency app did not complete")
+	}
+	if res.JobsCompleted != 3 {
+		t.Fatalf("JobsCompleted = %d, want 3", res.JobsCompleted)
+	}
+	if len(res.BatchResults) != 3 {
+		t.Fatalf("BatchResults has %d entries, want 3", len(res.BatchResults))
+	}
+	for i, br := range res.BatchResults {
+		if !br.Completed || br.Admitted == 0 || br.DonePeriod < br.Admitted {
+			t.Errorf("job %d lifecycle: completed=%v admitted=%d done=%d", i, br.Completed, br.Admitted, br.DonePeriod)
+		}
+		if br.Instructions == 0 {
+			t.Errorf("job %d retired no instructions", i)
+		}
+		if br.Domain < 0 || br.Domain >= s.withDefaults().Domains {
+			t.Errorf("job %d on domain %d", i, br.Domain)
+		}
+	}
+	if res.MaxWait > 200 {
+		t.Errorf("MaxWait = %d exceeds aging bound", res.MaxWait)
+	}
+	if res.BatchInstructions == 0 || res.Periods == 0 {
+		t.Error("scheduled run produced empty aggregate metrics")
+	}
+	admits := 0
+	for _, d := range res.SchedDecisions {
+		if d.Kind == sched.DecisionAdmit {
+			admits++
+		}
+	}
+	if admits != 3 {
+		t.Errorf("decision log has %d admissions, want 3", admits)
+	}
+}
+
+func TestRunScheduledDeterministic(t *testing.T) {
+	mk := func() Result {
+		return Run(Scenario{
+			Latency:   fastProfile(t, "mcf", 300_000),
+			Mode:      ModeScheduled,
+			Heuristic: caer.HeuristicRule,
+			Jobs:      []spec.Profile{fastProfile(t, "lbm", 100_000), fastProfile(t, "lbm", 100_000)},
+			Sched:     sched.Config{Policy: sched.PolicyRoundRobin},
+			Seed:      3,
+		})
+	}
+	a, b := mk(), mk()
+	if a.Periods != b.Periods || a.LatencyInstructions != b.LatencyInstructions ||
+		a.BatchInstructions != b.BatchInstructions || len(a.SchedDecisions) != len(b.SchedDecisions) {
+		t.Error("scheduled runs with equal seeds diverged")
+	}
+}
+
+func TestRunScheduledRejectsPartitioning(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PartitionWays in scheduled mode did not panic")
+		}
+	}()
+	Run(Scenario{Latency: spec.LBM(), Mode: ModeScheduled, PartitionWays: 2})
+}
+
+// TestRunCAERPerBatchResults pins the per-batch breakdown against the
+// aggregate counters in a multi-batch CAER run.
+func TestRunCAERPerBatchResults(t *testing.T) {
+	res := Run(Scenario{
+		Latency:      fastProfile(t, "mcf", 400_000),
+		Batch:        fastProfile(t, "lbm", 200_000),
+		ExtraBatches: []spec.Profile{fastProfile(t, "milc", 200_000)},
+		Mode:         ModeCAER,
+		Heuristic:    caer.HeuristicRule,
+		Seed:         5,
+	})
+	if len(res.BatchResults) != 2 {
+		t.Fatalf("BatchResults has %d entries, want 2", len(res.BatchResults))
+	}
+	var pos, neg, paused uint64
+	var relaunches int
+	for i, br := range res.BatchResults {
+		pos += br.CPositive
+		neg += br.CNegative
+		paused += br.PausedPeriods
+		relaunches += br.Relaunches
+		if br.Core != 1+i {
+			t.Errorf("batch %d on core %d, want %d", i, br.Core, 1+i)
+		}
+		if br.Instructions == 0 {
+			t.Errorf("batch %d retired no instructions", i)
+		}
+	}
+	if pos != res.CPositive || neg != res.CNegative || paused != res.PausedPeriods {
+		t.Errorf("per-batch sums (%d,%d,%d) != aggregates (%d,%d,%d)",
+			pos, neg, paused, res.CPositive, res.CNegative, res.PausedPeriods)
+	}
+	if relaunches != res.Relaunches {
+		t.Errorf("per-batch relaunches %d != aggregate %d", relaunches, res.Relaunches)
+	}
+}
+
+// TestRunNativePerBatchResults pins the native-mode breakdown: per-core
+// instruction totals sum to the aggregate and relaunch counts match.
+func TestRunNativePerBatchResults(t *testing.T) {
+	res := Run(Scenario{
+		Latency: fastProfile(t, "mcf", 400_000),
+		Batch:   fastProfile(t, "lbm", 150_000),
+		Mode:    ModeNativeColo,
+		Seed:    5,
+	})
+	if len(res.BatchResults) != 1 {
+		t.Fatalf("BatchResults has %d entries, want 1", len(res.BatchResults))
+	}
+	br := res.BatchResults[0]
+	if br.Instructions != res.BatchInstructions || br.Misses != res.BatchMisses {
+		t.Error("single-batch per-batch totals differ from aggregates")
+	}
+	if br.Relaunches != res.Relaunches {
+		t.Errorf("per-batch relaunches = %d, aggregate = %d", br.Relaunches, res.Relaunches)
+	}
+	if br.PausedPeriods != 0 {
+		t.Error("native-mode batch reports engine pauses")
 	}
 }

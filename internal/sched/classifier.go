@@ -1,0 +1,225 @@
+package sched
+
+import "caer/internal/stats"
+
+// classifierWindow is the sliding-window length (in sampling periods) over
+// which per-app miss and reuse rates are averaged before scoring.
+const classifierWindow = 32
+
+// histBuckets bins each app's per-period miss distribution; the histogram
+// spans [0, histSpanScale*PressureScale) misses/period.
+const (
+	histBuckets   = 32
+	histSpanScale = 8
+)
+
+// appProfile is one application's online contention profile.
+type appProfile struct {
+	name string
+
+	// misses / reuses hold the last classifierWindow per-period samples:
+	// LLC misses (pressure the app puts on its domain) and LLC hits (reuse
+	// the app extracts from the shared cache, i.e. what it stands to lose
+	// to an aggressor).
+	misses *stats.Window
+	reuses *stats.Window
+
+	// hist and sum summarise the lifetime miss distribution; per-domain
+	// aggregates are built by merging these (stats.Histogram.Merge /
+	// stats.Running.Merge).
+	hist *stats.Histogram
+	sum  stats.Running
+
+	// Engine outcomes attributed to the app: how often the contention
+	// detector under it asserted contention.
+	verdicts  uint64
+	positives uint64
+
+	// Hysteresis state for the binary LFOC-style classes. A class bit only
+	// flips after `hysteresis` consecutive periods beyond the watermark,
+	// so one noisy period cannot flap a placement decision.
+	aggressor       bool
+	sensitive       bool
+	aggrHi, aggrLo  int
+	sensHi, sensLo  int
+	observedPeriods uint64
+}
+
+// Classifier maintains per-application contention profiles from windowed
+// LLC-miss/LLC-hit samples and engine verdicts (LFOC-style online
+// classification): an app's *aggressiveness* is its normalized miss
+// pressure — what it inflicts on a shared cache — and its *sensitivity* is
+// its normalized LLC reuse — what a co-located aggressor can take from it.
+// Both scores are in [0, 1) with 0.5 at PressureScale events/period, and
+// the binary Aggressor/Sensitive classes carry hysteresis.
+//
+// The per-period Observe path is allocation-free (fixed windows, fixed
+// histogram bins); apps are registered once, before observation starts.
+type Classifier struct {
+	scale      float64
+	hysteresis int
+	apps       []appProfile
+}
+
+// Hysteresis watermarks: the binary class arms above the high watermark and
+// disarms below the low watermark (score space, [0,1)).
+const (
+	classOnScore  = 0.55
+	classOffScore = 0.45
+)
+
+// NewClassifier builds a classifier. scale is the events/period count that
+// maps to a score of 0.5 (the knee of the normalization); hysteresis is the
+// consecutive-period streak required to flip a binary class.
+func NewClassifier(scale float64, hysteresis int) *Classifier {
+	if scale <= 0 {
+		panic("sched: classifier scale must be positive")
+	}
+	if hysteresis < 1 {
+		panic("sched: classifier hysteresis must be at least 1")
+	}
+	return &Classifier{scale: scale, hysteresis: hysteresis}
+}
+
+// AddApp registers an application profile and returns its id. Apps sharing
+// a name (repeated jobs of the same program) should share an id so later
+// instances inherit the learned profile; the scheduler handles that
+// mapping. Registration allocates and must complete before observation.
+func (c *Classifier) AddApp(name string) int {
+	c.apps = append(c.apps, appProfile{
+		name:   name,
+		misses: stats.NewWindow(classifierWindow),
+		reuses: stats.NewWindow(classifierWindow),
+		hist:   stats.NewHistogram(0, histSpanScale*c.scale, histBuckets),
+	})
+	return len(c.apps) - 1
+}
+
+// Apps returns the number of registered profiles.
+func (c *Classifier) Apps() int { return len(c.apps) }
+
+// Name returns app's registered name.
+func (c *Classifier) Name(app int) string { return c.apps[app].name }
+
+// Observe records one sampling period for app: its LLC misses and LLC hits
+// (reuse) during the period. It runs every period for every placed app and
+// is allocation-free.
+func (c *Classifier) Observe(app int, misses, hits float64) {
+	p := &c.apps[app]
+	if hits < 0 {
+		hits = 0
+	}
+	p.misses.Push(misses)
+	p.reuses.Push(hits)
+	p.hist.Add(misses)
+	p.sum.Add(misses)
+	p.observedPeriods++
+
+	aggr := c.normalize(p.misses.Mean())
+	if aggr >= classOnScore {
+		p.aggrHi++
+		p.aggrLo = 0
+		if p.aggrHi >= c.hysteresis {
+			p.aggressor = true
+		}
+	} else if aggr <= classOffScore {
+		p.aggrLo++
+		p.aggrHi = 0
+		if p.aggrLo >= c.hysteresis {
+			p.aggressor = false
+		}
+	} else {
+		p.aggrHi = 0
+		p.aggrLo = 0
+	}
+
+	sens := c.normalize(p.reuses.Mean())
+	if sens >= classOnScore {
+		p.sensHi++
+		p.sensLo = 0
+		if p.sensHi >= c.hysteresis {
+			p.sensitive = true
+		}
+	} else if sens <= classOffScore {
+		p.sensLo++
+		p.sensHi = 0
+		if p.sensLo >= c.hysteresis {
+			p.sensitive = false
+		}
+	} else {
+		p.sensHi = 0
+		p.sensLo = 0
+	}
+}
+
+// ObserveVerdict attributes one engine detection outcome to app (the batch
+// application the verdict throttles). Allocation-free.
+func (c *Classifier) ObserveVerdict(app int, contention bool) {
+	p := &c.apps[app]
+	p.verdicts++
+	if contention {
+		p.positives++
+	}
+}
+
+// normalize maps an events/period rate into [0, 1): scale events/period
+// scores 0.5 and the score saturates smoothly above it.
+func (c *Classifier) normalize(rate float64) float64 {
+	return rate / (rate + c.scale)
+}
+
+// Aggressiveness returns app's current aggressiveness score in [0, 1): its
+// windowed LLC-miss pressure, normalized. Unobserved apps score 0
+// (optimistic: an unknown job is placed by domain pressure alone until its
+// first samples arrive). Allocation-free.
+func (c *Classifier) Aggressiveness(app int) float64 {
+	return c.normalize(c.apps[app].misses.Mean())
+}
+
+// Sensitivity returns app's current sensitivity score in [0, 1): its
+// windowed LLC reuse, normalized — how much shared-cache benefit an
+// aggressor can destroy. Allocation-free.
+func (c *Classifier) Sensitivity(app int) float64 {
+	return c.normalize(c.apps[app].reuses.Mean())
+}
+
+// Aggressor reports the hysteresis-filtered binary aggressor class.
+func (c *Classifier) Aggressor(app int) bool { return c.apps[app].aggressor }
+
+// Sensitive reports the hysteresis-filtered binary sensitive class.
+func (c *Classifier) Sensitive(app int) bool { return c.apps[app].sensitive }
+
+// ContentionRate returns the fraction of engine verdicts over app that
+// asserted contention (0 before any verdict).
+func (c *Classifier) ContentionRate(app int) float64 {
+	p := &c.apps[app]
+	if p.verdicts == 0 {
+		return 0
+	}
+	return float64(p.positives) / float64(p.verdicts)
+}
+
+// ObservedPeriods returns how many periods app has been observed for.
+func (c *Classifier) ObservedPeriods(app int) uint64 {
+	return c.apps[app].observedPeriods
+}
+
+// NewMissHistogram returns an empty histogram with the classifier's bucket
+// geometry, suitable as a MergeMisses destination.
+func (c *Classifier) NewMissHistogram() *stats.Histogram {
+	return stats.NewHistogram(0, histSpanScale*c.scale, histBuckets)
+}
+
+// MergeMisses merges app's lifetime per-period miss histogram into dst
+// (which must come from NewMissHistogram). Reporting paths use this to
+// build per-domain or whole-machine miss distributions whose quantiles
+// equal those of the union of the underlying streams.
+func (c *Classifier) MergeMisses(app int, dst *stats.Histogram) {
+	dst.Merge(c.apps[app].hist)
+}
+
+// MergeSummary merges app's lifetime miss summary (count/mean/variance/
+// min/max) into dst.
+func (c *Classifier) MergeSummary(app int, dst *stats.Running) {
+	dst.Merge(c.apps[app].sum)
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"caer/internal/stats"
+	"testing"
+)
+
+func TestClassifierScoresSeparateAxes(t *testing.T) {
+	c := NewClassifier(100, 2)
+	aggr := c.AddApp("aggressor")
+	sens := c.AddApp("sensitive")
+	for i := 0; i < 8; i++ {
+		c.Observe(aggr, 900, 10) // heavy miss pressure, no reuse
+		c.Observe(sens, 5, 400)  // light pressure, heavy L3 reuse
+	}
+	if a := c.Aggressiveness(aggr); a < 0.8 {
+		t.Errorf("aggressor aggressiveness = %v, want > 0.8", a)
+	}
+	if s := c.Sensitivity(aggr); s > 0.2 {
+		t.Errorf("aggressor sensitivity = %v, want < 0.2", s)
+	}
+	if a := c.Aggressiveness(sens); a > 0.2 {
+		t.Errorf("sensitive app aggressiveness = %v, want < 0.2", a)
+	}
+	if s := c.Sensitivity(sens); s < 0.7 {
+		t.Errorf("sensitive app sensitivity = %v, want > 0.7", s)
+	}
+	if !c.Aggressor(aggr) || c.Sensitive(aggr) {
+		t.Error("aggressor class bits wrong")
+	}
+	if c.Aggressor(sens) || !c.Sensitive(sens) {
+		t.Error("sensitive class bits wrong")
+	}
+}
+
+func TestClassifierHysteresisArming(t *testing.T) {
+	c := NewClassifier(100, 4)
+	app := c.AddApp("a")
+	for i := 0; i < 3; i++ {
+		c.Observe(app, 900, 0)
+		if c.Aggressor(app) {
+			t.Fatalf("aggressor class armed after %d periods, hysteresis is 4", i+1)
+		}
+	}
+	c.Observe(app, 900, 0)
+	if !c.Aggressor(app) {
+		t.Fatal("aggressor class not armed after 4 consecutive high periods")
+	}
+}
+
+func TestClassifierHysteresisDisarm(t *testing.T) {
+	c := NewClassifier(100, 3)
+	app := c.AddApp("a")
+	for i := 0; i < 8; i++ {
+		c.Observe(app, 900, 0)
+	}
+	if !c.Aggressor(app) {
+		t.Fatal("setup: class not armed")
+	}
+	// The windowed mean decays slowly, then the streak must accumulate: the
+	// class holds for several quiet periods before flipping off.
+	flipped := -1
+	for i := 0; i < 2*classifierWindow; i++ {
+		c.Observe(app, 0, 0)
+		if !c.Aggressor(app) {
+			flipped = i + 1
+			break
+		}
+	}
+	if flipped < 0 {
+		t.Fatal("aggressor class never disarmed after sustained quiet")
+	}
+	if flipped < 3 {
+		t.Errorf("class disarmed after %d quiet periods, hysteresis is 3", flipped)
+	}
+	if a := c.Aggressiveness(app); a >= classOffScore {
+		t.Errorf("post-disarm aggressiveness = %v, want < %v", a, classOffScore)
+	}
+}
+
+func TestClassifierUnobservedApp(t *testing.T) {
+	c := NewClassifier(150, 8)
+	app := c.AddApp("new")
+	if c.Aggressiveness(app) != 0 || c.Sensitivity(app) != 0 {
+		t.Error("unobserved app must score 0 on both axes")
+	}
+	if c.Aggressor(app) || c.Sensitive(app) {
+		t.Error("unobserved app must not be classified")
+	}
+	if c.ObservedPeriods(app) != 0 || c.ContentionRate(app) != 0 {
+		t.Error("unobserved app has nonzero counters")
+	}
+}
+
+func TestClassifierNegativeHitsClamped(t *testing.T) {
+	c := NewClassifier(100, 1)
+	app := c.AddApp("a")
+	c.Observe(app, 50, -25) // PMU skew: accesses delta < misses delta
+	if s := c.Sensitivity(app); s != 0 {
+		t.Errorf("sensitivity after negative hits = %v, want 0", s)
+	}
+}
+
+func TestClassifierVerdicts(t *testing.T) {
+	c := NewClassifier(100, 1)
+	app := c.AddApp("a")
+	c.ObserveVerdict(app, true)
+	c.ObserveVerdict(app, true)
+	c.ObserveVerdict(app, false)
+	c.ObserveVerdict(app, true)
+	if got := c.ContentionRate(app); got != 0.75 {
+		t.Errorf("ContentionRate = %v, want 0.75", got)
+	}
+}
+
+func TestClassifierMergeAggregation(t *testing.T) {
+	c := NewClassifier(100, 2)
+	a := c.AddApp("a")
+	b := c.AddApp("b")
+	for i := 0; i < 10; i++ {
+		c.Observe(a, 50, 0)
+		c.Observe(b, 250, 0)
+	}
+	hist := c.NewMissHistogram()
+	c.MergeMisses(a, hist)
+	c.MergeMisses(b, hist)
+	if hist.N() != 20 {
+		t.Errorf("merged histogram N = %d, want 20", hist.N())
+	}
+	var sum stats.Running
+	c.MergeSummary(a, &sum)
+	c.MergeSummary(b, &sum)
+	if sum.N() != 20 || sum.Mean() != 150 {
+		t.Errorf("merged summary n=%d mean=%v, want 20, 150", sum.N(), sum.Mean())
+	}
+	if sum.Min() != 50 || sum.Max() != 250 {
+		t.Errorf("merged summary min=%v max=%v, want 50, 250", sum.Min(), sum.Max())
+	}
+	if c.Name(a) != "a" || c.Apps() != 2 {
+		t.Error("classifier registry accessors wrong")
+	}
+}
+
+func TestClassifierConstructorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero scale", func() { NewClassifier(0, 4) })
+	mustPanic("negative scale", func() { NewClassifier(-1, 4) })
+	mustPanic("zero hysteresis", func() { NewClassifier(100, 0) })
+}

@@ -1,0 +1,133 @@
+package sched
+
+import "testing"
+
+func TestInterferenceScoreOrdering(t *testing.T) {
+	hot := View{FreeCores: 1, Sensitivity: 0.8, Pressure: 0.7}
+	cold := View{FreeCores: 1, Sensitivity: 0.05, Pressure: 0.05}
+	if interferenceScore(hot, 0.5) <= interferenceScore(cold, 0.5) {
+		t.Error("hot domain does not score above cold domain")
+	}
+	// Aggressiveness widens the gap: a known aggressor pays more for the
+	// hot domain than an unknown job does.
+	gapAggressive := interferenceScore(hot, 0.9) - interferenceScore(cold, 0.9)
+	gapUnknown := interferenceScore(hot, 0) - interferenceScore(cold, 0)
+	if gapAggressive <= gapUnknown {
+		t.Errorf("aggressiveness gap %v <= unknown gap %v", gapAggressive, gapUnknown)
+	}
+	// Resident batch load makes an otherwise-equal domain less attractive.
+	crowded := cold
+	crowded.BatchLoad = 2
+	if interferenceScore(crowded, 0.5) <= interferenceScore(cold, 0.5) {
+		t.Error("batch load does not penalize a crowded domain")
+	}
+}
+
+func TestContentionPlacer(t *testing.T) {
+	p := PolicyContentionAware.NewPlacer()
+	views := []View{
+		{FreeCores: 1, Sensitivity: 0.9, Pressure: 0.8},
+		{FreeCores: 1, Sensitivity: 0.05},
+	}
+	if d := p.Place(0.7, views); d != 1 {
+		t.Errorf("Place = %d, want the cold domain 1", d)
+	}
+	views[1].FreeCores = 0
+	if d := p.Place(0.7, views); d != 0 {
+		t.Errorf("Place with domain 1 full = %d, want 0", d)
+	}
+	views[0].FreeCores = 0
+	if d := p.Place(0.7, views); d != -1 {
+		t.Errorf("Place with all domains full = %d, want -1", d)
+	}
+	// Exact ties break toward the lower index for determinism.
+	tied := []View{
+		{FreeCores: 1, Sensitivity: 0.3},
+		{FreeCores: 1, Sensitivity: 0.3},
+	}
+	if d := p.Place(0.5, tied); d != 0 {
+		t.Errorf("tied Place = %d, want 0", d)
+	}
+}
+
+func TestRoundRobinPlacer(t *testing.T) {
+	p := PolicyRoundRobin.NewPlacer()
+	views := []View{{FreeCores: 1}, {FreeCores: 1}, {FreeCores: 1}}
+	want := []int{0, 1, 2, 0}
+	for i, w := range want {
+		d := p.Place(0, views)
+		if d != w {
+			t.Fatalf("placement %d = %d, want %d", i, d, w)
+		}
+		p.Commit(d)
+	}
+	// Without Commit (admission vetoed), the rotation does not advance.
+	d1 := p.Place(0, views)
+	d2 := p.Place(0, views)
+	if d1 != d2 {
+		t.Errorf("uncommitted Place advanced: %d then %d", d1, d2)
+	}
+	// Full domains are skipped.
+	views[d1].FreeCores = 0
+	if d := p.Place(0, views); d == d1 {
+		t.Error("round-robin placed on a full domain")
+	}
+	if d := p.Place(0, []View{{}, {}}); d != -1 {
+		t.Errorf("Place with no free cores = %d, want -1", d)
+	}
+}
+
+func TestPackedPlacer(t *testing.T) {
+	p := PolicyPacked.NewPlacer()
+	views := []View{{FreeCores: 2}, {FreeCores: 2}}
+	if d := p.Place(0, views); d != 0 {
+		t.Errorf("Place = %d, want 0", d)
+	}
+	p.Commit(0)
+	views[0].FreeCores = 0
+	if d := p.Place(0, views); d != 1 {
+		t.Errorf("Place with domain 0 full = %d, want 1", d)
+	}
+	if d := p.Place(0, []View{{}, {}}); d != -1 {
+		t.Errorf("Place with no free cores = %d, want -1", d)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[Policy]string{
+		PolicyRoundRobin:      "round-robin",
+		PolicyContentionAware: "contention-aware",
+		PolicyPacked:          "packed",
+		Policy(99):            "Policy(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+	for _, p := range []Policy{PolicyRoundRobin, PolicyContentionAware, PolicyPacked} {
+		if got := p.NewPlacer().Name(); got != p.String() {
+			t.Errorf("placer name %q != policy name %q", got, p.String())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPlacer on unknown policy did not panic")
+		}
+	}()
+	Policy(99).NewPlacer()
+}
+
+func TestDecisionKindStrings(t *testing.T) {
+	cases := map[DecisionKind]string{
+		DecisionAdmit:    "admit",
+		DecisionMigrate:  "migrate",
+		DecisionComplete: "complete",
+		DecisionKind(9):  "DecisionKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("DecisionKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

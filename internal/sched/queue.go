@@ -1,0 +1,77 @@
+package sched
+
+import "fmt"
+
+// JobState is a batch job's position in the admission lifecycle.
+type JobState int
+
+const (
+	// JobWaiting means the job sits in the admission queue.
+	JobWaiting JobState = iota
+	// JobRunning means the job is placed on a core and executing.
+	JobRunning
+	// JobDone means the job ran to completion and released its core.
+	JobDone
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case JobWaiting:
+		return "waiting"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// jobQueue is a fixed-capacity FIFO ring of job indices. Capacity equals
+// the total submitted job count, so peek/pop/len on the per-period path
+// never allocate and push can never overflow.
+type jobQueue struct {
+	buf   []int
+	head  int
+	count int
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sched: negative queue capacity %d", capacity))
+	}
+	if capacity == 0 {
+		capacity = 1 // a well-formed empty ring
+	}
+	return &jobQueue{buf: make([]int, capacity)}
+}
+
+func (q *jobQueue) len() int { return q.count }
+
+func (q *jobQueue) push(j int) {
+	if q.count == len(q.buf) {
+		panic("sched: job queue overflow")
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = j
+	q.count++
+}
+
+// peek returns the head job index without removing it, or -1 when empty.
+func (q *jobQueue) peek() int {
+	if q.count == 0 {
+		return -1
+	}
+	return q.buf[q.head]
+}
+
+// pop removes and returns the head job index; it panics when empty.
+func (q *jobQueue) pop() int {
+	if q.count == 0 {
+		panic("sched: pop from empty job queue")
+	}
+	j := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return j
+}

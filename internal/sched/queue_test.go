@@ -1,0 +1,70 @@
+package sched
+
+import "testing"
+
+func TestJobQueueFIFO(t *testing.T) {
+	q := newJobQueue(3)
+	if q.len() != 0 || q.peek() != -1 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.push(10)
+	q.push(11)
+	q.push(12)
+	if q.len() != 3 || q.peek() != 10 {
+		t.Fatalf("len=%d peek=%d, want 3, 10", q.len(), q.peek())
+	}
+	// Wrap the ring: pop two, push two, and order must survive.
+	if q.pop() != 10 || q.pop() != 11 {
+		t.Fatal("pop order wrong")
+	}
+	q.push(13)
+	q.push(14)
+	for i, want := range []int{12, 13, 14} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop %d = %d, want %d", i, got, want)
+		}
+	}
+	if q.len() != 0 || q.peek() != -1 {
+		t.Error("drained queue not empty")
+	}
+}
+
+func TestJobQueuePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative capacity", func() { newJobQueue(-1) })
+	mustPanic("overflow", func() {
+		q := newJobQueue(1)
+		q.push(0)
+		q.push(1)
+	})
+	mustPanic("pop empty", func() { newJobQueue(2).pop() })
+}
+
+func TestJobQueueZeroCapacity(t *testing.T) {
+	q := newJobQueue(0)
+	if q.len() != 0 || q.peek() != -1 {
+		t.Error("zero-capacity queue is not a well-formed empty ring")
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	cases := map[JobState]string{
+		JobWaiting:  "waiting",
+		JobRunning:  "running",
+		JobDone:     "done",
+		JobState(7): "JobState(7)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("JobState(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

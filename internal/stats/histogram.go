@@ -97,6 +97,36 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Merge adds other's counts into h. Both histograms must have identical
+// bucket geometry (range and bucket count); it panics otherwise. The sched
+// classifier merges per-application miss histograms into per-domain
+// aggregates this way, so quantiles of the merge equal quantiles of the
+// union of the underlying sample streams. Merging an empty histogram is a
+// no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		panic("stats: Merge with nil histogram")
+	}
+	if h.min != other.min || h.max != other.max || len(h.buckets) != len(other.buckets) {
+		panic(fmt.Sprintf("stats: Merge of mismatched histograms [%v,%v)x%d vs [%v,%v)x%d",
+			h.min, h.max, len(h.buckets), other.min, other.max, len(other.buckets)))
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.under += other.under
+	h.over += other.over
+	h.n += other.n
+}
+
+// Reset zeroes all counts, keeping the bucket geometry.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.under, h.over, h.n = 0, 0, 0
+}
+
 // Render writes an ASCII histogram, one bucket per line, bars scaled to
 // the largest bucket.
 func (h *Histogram) Render(w io.Writer, barWidth int) error {

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramMergeQuantiles pins the property the sched classifier's
+// per-domain aggregation relies on: quantiles of a merged histogram equal
+// quantiles of one histogram fed the union of both sample streams.
+func TestHistogramMergeQuantiles(t *testing.T) {
+	a := NewHistogram(0, 100, 20)
+	b := NewHistogram(0, 100, 20)
+	union := NewHistogram(0, 100, 20)
+	// Two deliberately different shapes: a low cluster and a high cluster,
+	// plus outliers on both sides.
+	as := []float64{-5, 1, 3, 7, 12, 12.5, 18, 22, 40}
+	bs := []float64{55, 60, 61, 75, 88, 93, 99.9, 150, 200}
+	for _, v := range as {
+		a.Add(v)
+		union.Add(v)
+	}
+	for _, v := range bs {
+		b.Add(v)
+		union.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != union.N() {
+		t.Fatalf("merged N = %d, union N = %d", a.N(), union.N())
+	}
+	au, ao := a.Outliers()
+	uu, uo := union.Outliers()
+	if au != uu || ao != uo {
+		t.Fatalf("merged outliers (%d,%d) != union outliers (%d,%d)", au, ao, uu, uo)
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got, want := a.Quantile(q), union.Quantile(q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v after merge, want %v", q, got, want)
+		}
+	}
+	for i := 0; i < union.Buckets(); i++ {
+		gc, _, _ := a.Bucket(i)
+		wc, _, _ := union.Bucket(i)
+		if gc != wc {
+			t.Errorf("bucket %d count = %d after merge, want %d", i, gc, wc)
+		}
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	empty := NewHistogram(0, 10, 5)
+	// Empty ∪ empty stays empty; quantiles of an empty histogram are 0.
+	other := NewHistogram(0, 10, 5)
+	empty.Merge(other)
+	if empty.N() != 0 {
+		t.Fatalf("empty merge produced %d samples", empty.N())
+	}
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram Quantile(0.5) = %v, want 0", q)
+	}
+	// Merging an empty histogram into a populated one is a no-op.
+	h := NewHistogram(0, 10, 5)
+	h.Add(2)
+	h.Add(8)
+	before := h.Quantile(0.5)
+	h.Merge(other)
+	if h.N() != 2 || h.Quantile(0.5) != before {
+		t.Fatalf("no-op merge changed state: n=%d q50=%v (want 2, %v)", h.N(), h.Quantile(0.5), before)
+	}
+	// Merging a populated histogram into an empty one adopts it exactly.
+	e2 := NewHistogram(0, 10, 5)
+	e2.Merge(h)
+	if e2.N() != 2 || e2.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatalf("merge into empty: n=%d q50=%v, want 2, %v", e2.N(), e2.Quantile(0.5), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	cases := []*Histogram{
+		NewHistogram(0, 50, 20),  // different max
+		NewHistogram(1, 100, 20), // different min
+		NewHistogram(0, 100, 10), // different bucket count
+	}
+	for i, other := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: merge of mismatched geometry did not panic", i)
+				}
+			}()
+			h := NewHistogram(0, 100, 20)
+			h.Merge(other)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("merge with nil histogram did not panic")
+			}
+		}()
+		NewHistogram(0, 100, 20).Merge(nil)
+	}()
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 4)
+	for _, v := range []float64{-1, 2, 5, 20} {
+		h.Add(v)
+	}
+	h.Reset()
+	if h.N() != 0 {
+		t.Fatalf("Reset left %d samples", h.N())
+	}
+	u, o := h.Outliers()
+	if u != 0 || o != 0 {
+		t.Fatalf("Reset left outliers (%d,%d)", u, o)
+	}
+	h.Add(7)
+	if got := h.Quantile(1); got < 6 || got > 8 {
+		t.Fatalf("post-Reset Quantile(1) = %v, want ~7", got)
+	}
+}
+
+// TestRunningMerge pins that Merge equals sequential Adds for count, mean,
+// variance, min, and max.
+func TestRunningMerge(t *testing.T) {
+	as := []float64{3, 1, 4, 1, 5, 9, 2.5}
+	bs := []float64{-2, 7, 7, 0.5}
+	var a, b, seq Running
+	for _, v := range as {
+		a.Add(v)
+		seq.Add(v)
+	}
+	for _, v := range bs {
+		b.Add(v)
+		seq.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != seq.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), seq.N())
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", a.Mean(), seq.Mean()},
+		{"variance", a.Variance(), seq.Variance()},
+		{"min", a.Min(), seq.Min()},
+		{"max", a.Max(), seq.Max()},
+	} {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("merged %s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var empty, pop Running
+	pop.Add(4)
+	pop.Add(6)
+
+	// Populated ∪ empty: unchanged.
+	before := pop
+	pop.Merge(empty)
+	if pop != before {
+		t.Fatalf("merge with empty changed accumulator: %+v != %+v", pop, before)
+	}
+	// Empty ∪ populated: adopts exactly.
+	empty.Merge(pop)
+	if empty.N() != 2 || empty.Mean() != 5 || empty.Min() != 4 || empty.Max() != 6 {
+		t.Fatalf("merge into empty: n=%d mean=%v min=%v max=%v", empty.N(), empty.Mean(), empty.Min(), empty.Max())
+	}
+	// Empty ∪ empty: still empty, stats all zero.
+	var e1, e2 Running
+	e1.Merge(e2)
+	if e1.N() != 0 || e1.Mean() != 0 || e1.Variance() != 0 {
+		t.Fatalf("empty merge not empty: %+v", e1)
+	}
+}

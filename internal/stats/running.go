@@ -60,6 +60,33 @@ func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
 // Reset returns the accumulator to its empty state.
 func (r *Running) Reset() { *r = Running{} }
 
+// Merge folds other's samples into r using Chan et al.'s parallel variance
+// combination, as if every sample of both accumulators had been Added to r.
+// Merging an empty accumulator (in either direction) is exact. The sched
+// classifier merges per-application summaries into per-domain summaries
+// this way.
+func (r *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = other
+		return
+	}
+	n1, n2 := float64(r.n), float64(other.n)
+	d := other.mean - r.mean
+	n := n1 + n2
+	r.m2 += other.m2 + d*d*n1*n2/n
+	r.mean += d * n2 / n
+	r.n += other.n
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+}
+
 // EWMA is an exponentially weighted moving average with smoothing factor
 // alpha in (0, 1]: higher alpha weights recent samples more heavily. The
 // zero value is invalid; construct with NewEWMA.
