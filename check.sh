@@ -14,5 +14,17 @@ go run ./cmd/caer-bench -chaos -quick > /dev/null
 # Scheduler gate: the placement regimes (DESIGN.md §9) in short mode —
 # contention-aware placement must beat round-robin at equal throughput
 # (asserted by the experiments suite test; this exercises the artifact path).
-go run ./cmd/caer-bench -sched -quick > /dev/null
+# -telemetry-out doubles as the telemetry smoke: the run must leave a
+# Prometheus snapshot whose core metric families are present and non-empty.
+go run ./cmd/caer-bench -sched -quick -telemetry-out TELEMETRY_snapshot.txt > /dev/null
 rm -f BENCH_sched.json
+for fam in caer_pmu_reads_total caer_comm_publishes_total \
+           caer_engine_ticks_total caer_engine_verdicts_total \
+           caer_sched_admissions_total caer_telemetry_ops_total; do
+    grep -q "^$fam" TELEMETRY_snapshot.txt || {
+        echo "telemetry smoke: metric family $fam missing" >&2; exit 1; }
+    awk -v fam="$fam" '$1 ~ "^"fam"($|{)" { sum += $NF } END { exit !(sum > 0) }' \
+        TELEMETRY_snapshot.txt || {
+        echo "telemetry smoke: metric family $fam is empty" >&2; exit 1; }
+done
+rm -f TELEMETRY_snapshot.txt

@@ -9,6 +9,7 @@
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
 //	           [-chaos] [-sched]
+//	           [-telemetry addr] [-telemetry-out FILE]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
 // run; the published numbers in EXPERIMENTS.md use the full lengths.
@@ -39,6 +40,7 @@ import (
 	"caer/internal/experiments"
 	"caer/internal/report"
 	"caer/internal/spec"
+	"caer/internal/telemetry"
 )
 
 func main() {
@@ -50,7 +52,18 @@ func main() {
 	ablation := flag.String("ablation", "", "additionally run ablations: partition, response, tuning, adversary, multiapp (comma-separated or 'all')")
 	chaos := flag.Bool("chaos", false, "run the fault-injection regime suite (skips figures unless -fig is set explicitly)")
 	schedFlag := flag.Bool("sched", false, "run the scheduler regime suite and write BENCH_sched.json (skips figures unless -fig is set explicitly)")
+	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
+	telemetryOut := flag.String("telemetry-out", "", "write a Prometheus-text telemetry snapshot to this file after the run")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		ln, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "[telemetry: http://%s/metrics]\n", ln.Addr())
+	}
 
 	figSetExplicitly := false
 	flag.Visit(func(f *flag.Flag) {
@@ -216,6 +229,17 @@ func main() {
 		}
 		fh.Close()
 		fmt.Fprintf(out, "[wrote %s]\n", path)
+	}
+	if *telemetryOut != "" {
+		fh, err := os.Create(*telemetryOut)
+		if err != nil {
+			fatalf("create %s: %v", *telemetryOut, err)
+		}
+		if err := telemetry.WriteSnapshot(fh); err != nil {
+			fatalf("write telemetry snapshot: %v", err)
+		}
+		fh.Close()
+		fmt.Fprintf(out, "[wrote %s]\n", *telemetryOut)
 	}
 	fmt.Fprintf(out, "\n[%s elapsed]\n", time.Since(start).Round(time.Millisecond))
 }

@@ -7,6 +7,7 @@
 //	caer-run -latency mcf [-batch lbm] [-mode caer|colo|alone]
 //	         [-heuristic rule|shutter|random] [-seed N] [-adaptive]
 //	         [-dvfs N] [-usage-thresh N] [-impact F]
+//	         [-telemetry addr]
 //
 // Example:
 //
@@ -22,6 +23,7 @@ import (
 	"caer/internal/report"
 	"caer/internal/runner"
 	"caer/internal/spec"
+	"caer/internal/telemetry"
 )
 
 func main() {
@@ -35,7 +37,17 @@ func main() {
 	usageThresh := flag.Float64("usage-thresh", 0, "override the rule-based usage threshold")
 	impact := flag.Float64("impact", 0, "override the shutter impact factor (QoS knob)")
 	logTail := flag.Int("log", 0, "dump the last N engine decisions after the run")
+	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		ln, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "[telemetry: http://%s/metrics]\n", ln.Addr())
+	}
 
 	lat, ok := spec.ByName(*latency)
 	if !ok {

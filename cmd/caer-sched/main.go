@@ -11,7 +11,7 @@
 //	caer-sched [-policy rr|ca|packed] [-latency mcf]
 //	           [-jobs lbm,lbm,povray,lbm] [-domains N] [-cores N]
 //	           [-admit-thresh F] [-aging N] [-migrate N]
-//	           [-job-instr N] [-seed N] [-quick]
+//	           [-job-instr N] [-seed N] [-quick] [-telemetry addr]
 //
 // Examples:
 //
@@ -31,6 +31,7 @@ import (
 	"caer/internal/runner"
 	"caer/internal/sched"
 	"caer/internal/spec"
+	"caer/internal/telemetry"
 )
 
 func main() {
@@ -45,7 +46,17 @@ func main() {
 	jobInstr := flag.Uint64("job-instr", 500_000, "instruction count for each submitted job")
 	seed := flag.Int64("seed", 1, "seed for all runs")
 	quick := flag.Bool("quick", false, "shrink the latency service 8x for a fast smoke run")
+	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		ln, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "[telemetry: http://%s/metrics]\n", ln.Addr())
+	}
 
 	var pol sched.Policy
 	switch *policy {

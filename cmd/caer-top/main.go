@@ -1,0 +1,199 @@
+// Command caer-top renders a refreshing per-core view of a live CAER
+// deployment from the telemetry endpoint another caer command serves with
+// -telemetry: per-core contention pressure, the current directive, and
+// degraded (fail-open) state, plus the headline pipeline counters.
+//
+// Usage:
+//
+//	caer-run -latency mcf -mode caer -telemetry :6060 &
+//	caer-top -addr localhost:6060
+//	caer-top -addr localhost:6060 -once
+//	caer-top -addr localhost:6060 -interval 500ms -iterations 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"caer/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:6060", "telemetry endpoint to scrape (host:port)")
+	interval := flag.Duration("interval", time.Second, "refresh interval")
+	iterations := flag.Int("iterations", 0, "number of refreshes before exiting (0 = until interrupted)")
+	once := flag.Bool("once", false, "print a single snapshot without clearing the screen")
+	flag.Parse()
+
+	if *once {
+		*iterations = 1
+	}
+	for i := 0; *iterations == 0 || i < *iterations; i++ {
+		metrics, err := scrape("http://" + *addr + "/metrics")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		if err := render(os.Stdout, *addr, metrics); err != nil {
+			fatalf("render: %v", err)
+		}
+		if *iterations != 0 && i == *iterations-1 {
+			break
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// scrape fetches and parses one Prometheus-text snapshot.
+func scrape(url string) ([]telemetry.TextMetric, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	metrics, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return metrics, nil
+}
+
+// coreRow is one core's live state assembled from the caer_core_* gauges.
+type coreRow struct {
+	core      string
+	app       string
+	role      string
+	pressure  float64
+	directive float64
+	hasDir    bool
+	degraded  bool
+}
+
+// render writes one snapshot of the per-core view. Split from main so tests
+// can drive it with a synthetic metric set.
+func render(w io.Writer, addr string, metrics []telemetry.TextMetric) error {
+	value := func(name string) float64 {
+		var total float64
+		for _, m := range metrics {
+			if m.Name == name {
+				total += m.Value
+			}
+		}
+		return total
+	}
+	labeled := func(name, key, val string) float64 {
+		for _, m := range metrics {
+			if m.Name == name && m.Label(key) == val {
+				return m.Value
+			}
+		}
+		return 0
+	}
+
+	fmt.Fprintf(w, "caer-top - %s\n\n", addr)
+	fmt.Fprintf(w, "pipeline: %.0f ticks, %.0f contention / %.0f clear verdicts, %.0f holds, %.0f watchdog trips\n",
+		value("caer_engine_ticks_total"),
+		labeled("caer_engine_verdicts_total", "verdict", "contention"),
+		labeled("caer_engine_verdicts_total", "verdict", "clear"),
+		value("caer_engine_holds_total"),
+		value("caer_engine_watchdog_trips_total"))
+	fmt.Fprintf(w, "sampling: %.0f pmu reads, %.0f publishes, %.0f telemetry ops (period %.0f)\n\n",
+		value("caer_pmu_reads_total"),
+		value("caer_comm_publishes_total"),
+		value("caer_telemetry_ops_total"),
+		value("caer_comm_period"))
+
+	rows := collectCores(metrics)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no per-core gauges yet (is a deployment stepping?)")
+		return nil
+	}
+	maxPressure := 1.0
+	for _, r := range rows {
+		if r.pressure > maxPressure {
+			maxPressure = r.pressure
+		}
+	}
+	fmt.Fprintf(w, "%-5s %-12s %-18s %12s  %-20s %-9s %s\n",
+		"core", "app", "role", "pressure", "", "directive", "state")
+	for _, r := range rows {
+		dir, state := "-", "ok"
+		if r.hasDir {
+			if r.directive > 0 {
+				dir = "pause"
+			} else {
+				dir = "run"
+			}
+		}
+		if r.degraded {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(w, "%-5s %-12s %-18s %12.0f  %-20s %-9s %s\n",
+			r.core, r.app, r.role, r.pressure, bar(r.pressure/maxPressure, 20), dir, state)
+	}
+	return nil
+}
+
+// collectCores joins the three caer_core_* families by core label.
+func collectCores(metrics []telemetry.TextMetric) []coreRow {
+	byCore := map[string]*coreRow{}
+	for _, m := range metrics {
+		if !strings.HasPrefix(m.Name, "caer_core_") {
+			continue
+		}
+		core := m.Label("core")
+		r, ok := byCore[core]
+		if !ok {
+			r = &coreRow{core: core, app: m.Label("app"), role: m.Label("role")}
+			byCore[core] = r
+		}
+		switch m.Name {
+		case "caer_core_pressure":
+			r.pressure = m.Value
+		case "caer_core_directive":
+			r.directive = m.Value
+			r.hasDir = true
+		case "caer_core_degraded":
+			r.degraded = m.Value > 0
+		}
+	}
+	rows := make([]coreRow, 0, len(byCore))
+	for _, r := range byCore {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if len(rows[i].core) != len(rows[j].core) {
+			return len(rows[i].core) < len(rows[j].core)
+		}
+		return rows[i].core < rows[j].core
+	})
+	return rows
+}
+
+// bar renders frac of a width-cell block bar.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * float64(width))
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caer-top: "+format+"\n", args...)
+	os.Exit(1)
+}

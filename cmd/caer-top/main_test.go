@@ -1,0 +1,122 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"caer/internal/telemetry"
+)
+
+func sampleMetrics() []telemetry.TextMetric {
+	return []telemetry.TextMetric{
+		{Name: "caer_engine_ticks_total", Value: 420},
+		{Name: "caer_engine_verdicts_total", Labels: map[string]string{"verdict": "contention"}, Value: 7},
+		{Name: "caer_engine_verdicts_total", Labels: map[string]string{"verdict": "clear"}, Value: 13},
+		{Name: "caer_engine_holds_total", Value: 3},
+		{Name: "caer_pmu_reads_total", Value: 840},
+		{Name: "caer_comm_publishes_total", Value: 840},
+		{Name: "caer_comm_period", Value: 420},
+		{Name: "caer_telemetry_ops_total", Value: 1700},
+		{Name: "caer_core_pressure", Labels: map[string]string{"core": "0", "app": "mcf", "role": "latency"}, Value: 900},
+		{Name: "caer_core_pressure", Labels: map[string]string{"core": "1", "app": "lbm", "role": "batch"}, Value: 4500},
+		{Name: "caer_core_directive", Labels: map[string]string{"core": "1", "app": "lbm", "role": "batch"}, Value: 1},
+		{Name: "caer_core_degraded", Labels: map[string]string{"core": "1", "app": "lbm", "role": "batch"}, Value: 0},
+	}
+}
+
+func TestRenderPerCoreView(t *testing.T) {
+	var sb strings.Builder
+	if err := render(&sb, "localhost:6060", sampleMetrics()); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"caer-top - localhost:6060",
+		"420 ticks",
+		"7 contention / 13 clear",
+		"840 pmu reads",
+		"mcf", "lbm",
+		"pause", // core 1's directive gauge is 1
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// The latency core carries no directive gauge: shown as "-".
+	mcfLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "mcf") {
+			mcfLine = line
+		}
+	}
+	if !strings.Contains(mcfLine, "-") {
+		t.Errorf("latency core line should show '-' directive: %q", mcfLine)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := render(&sb, "x", nil); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no per-core gauges yet") {
+		t.Errorf("empty render should note missing gauges:\n%s", sb.String())
+	}
+}
+
+func TestCollectCoresJoinsAndSorts(t *testing.T) {
+	rows := collectCores(sampleMetrics())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].core != "0" || rows[1].core != "1" {
+		t.Errorf("rows out of order: %v", rows)
+	}
+	if !rows[1].hasDir || rows[1].directive != 1 {
+		t.Errorf("core 1 should join its directive gauge: %+v", rows[1])
+	}
+	if rows[0].hasDir {
+		t.Errorf("latency core 0 should have no directive gauge: %+v", rows[0])
+	}
+}
+
+func TestScrape(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("caer_engine_ticks_total 42\ncaer_core_pressure{core=\"0\",app=\"mcf\",role=\"latency\"} 17\n"))
+	}))
+	defer srv.Close()
+	metrics, err := scrape(srv.URL)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	if len(metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(metrics))
+	}
+	if metrics[1].Label("app") != "mcf" || metrics[1].Value != 17 {
+		t.Errorf("unexpected metric: %+v", metrics[1])
+	}
+}
+
+func TestScrapeErrorStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	if _, err := scrape(srv.URL); err == nil {
+		t.Fatal("scrape of 500 endpoint should error")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 10); strings.Count(got, "█") != 5 {
+		t.Errorf("bar(0.5,10) = %q", got)
+	}
+	if got := bar(2, 4); got != "████" {
+		t.Errorf("bar clamps above 1: %q", got)
+	}
+	if got := bar(-1, 4); got != "····" {
+		t.Errorf("bar clamps below 0: %q", got)
+	}
+}

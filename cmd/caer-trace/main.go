@@ -7,6 +7,7 @@
 //
 //	caer-trace -bench xalancbmk [-periods 500] [-colo]
 //	           [-format csv|spark|hist|phases] [-o trace.bin]
+//	           [-chrome trace.json]
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	colo := flag.Bool("colo", false, "co-locate with lbm while tracing")
 	format := flag.String("format", "csv", "output format: csv, spark, hist or phases")
 	out := flag.String("o", "", "also write the full multi-core trace (binary) to this file")
+	chrome := flag.String("chrome", "", "also write the trace as Chrome trace-event JSON to this file")
 	seed := flag.Int64("seed", 1, "seed")
 	flag.Parse()
 
@@ -63,6 +65,19 @@ func main() {
 		}
 		f.Close()
 		fmt.Fprintf(os.Stderr, "[wrote %s: %d periods x %d cores]\n", *out, rec.Trace().Len(), m.Cores())
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caer-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.Trace().WriteChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "caer-trace: write chrome trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "[wrote %s: chrome trace, load in chrome://tracing or Perfetto]\n", *chrome)
 	}
 
 	misses := sampler.Series(pmu.EventLLCMisses)

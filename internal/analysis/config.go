@@ -90,10 +90,21 @@ func DefaultConfig() *Config {
 			"sched.Scheduler.Step", "sched.Scheduler.observePeriod",
 			"sched.Scheduler.tickEngines", "sched.Scheduler.applyDirectives",
 			"sched.Scheduler.fillViews", "sched.Scheduler.ageQueue",
+			// Telemetry spine: the pre-registered handles every hot function
+			// above calls into, plus the span recorder. They must stay pure
+			// atomics — the observability layer cannot be allowed to perturb
+			// the 1 ms loop it reports on.
+			"telemetry.Counter.Inc", "telemetry.Counter.Add",
+			"telemetry.Gauge.Set", "telemetry.Histogram.Observe",
+			"telemetry.SpanRecorder.Record",
+			// Engine span-closing helpers, called from Tick every period.
+			"caer.Engine.recordHoldSpan", "caer.Engine.recordShutterSpan",
 		},
 		AllocFuncs: []string{
 			"Slot.Samples", "ShmTable.Samples", "Window.Snapshot",
 			"Table.Slots", "Table.SlotsByRole", "EventLog.Events",
+			"SpanRecorder.Spans", "SpanRecorder.ChromeEvents",
+			"Registry.WritePrometheus", "Histogram.Snapshot",
 		},
 		EnumTypes: []string{
 			"comm.Directive", "comm.Role",
@@ -101,6 +112,7 @@ func DefaultConfig() *Config {
 			"pmu.Event", "runner.Mode", "spec.Sensitivity",
 			"experiments.FaultKind",
 			"sched.Policy", "sched.JobState", "sched.DecisionKind",
+			"telemetry.MetricKind", "telemetry.SpanKind",
 		},
 		EnumIgnorePrefixes: []string{"num"},
 	}

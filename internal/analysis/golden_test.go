@@ -112,9 +112,10 @@ func runGolden(t *testing.T, rel string) {
 	}
 }
 
-func TestGoldenComm(t *testing.T) { runGolden(t, "comm") }
-func TestGoldenCaer(t *testing.T) { runGolden(t, "caer") }
-func TestGoldenPmu(t *testing.T)  { runGolden(t, "pmu") }
+func TestGoldenComm(t *testing.T)      { runGolden(t, "comm") }
+func TestGoldenCaer(t *testing.T)      { runGolden(t, "caer") }
+func TestGoldenPmu(t *testing.T)       { runGolden(t, "pmu") }
+func TestGoldenTelemetry(t *testing.T) { runGolden(t, "telemetry") }
 
 // TestGoldenSeedsEveryAnalyzer guards the fixtures themselves: each
 // analyzer of the suite must have at least one seeded violation across the
@@ -123,7 +124,7 @@ func TestGoldenSeedsEveryAnalyzer(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ModulePath = "test"
 	hit := make(map[string]int)
-	for _, rel := range []string{"comm", "caer", "pmu"} {
+	for _, rel := range []string{"comm", "caer", "pmu", "telemetry"} {
 		for _, f := range RunAnalyzers(loadTestPkg(t, rel), Analyzers(), cfg) {
 			hit[f.Analyzer]++
 		}

@@ -1,0 +1,136 @@
+// Package telemetry is a testdata stand-in for the telemetry spine: its
+// hot-path handles (Counter.Inc, Gauge.Set, Histogram.Observe,
+// SpanRecorder.Record) match the hotpath analyzer's default inventory, and
+// its MetricKind/SpanKind enums are exhaustiveness-checked.
+package telemetry
+
+import "fmt"
+
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+type SpanKind int32
+
+const (
+	SpanProbe SpanKind = iota
+	SpanDetect
+	numSpanKinds
+)
+
+var _ = numSpanKinds
+
+type Counter struct {
+	v     uint64
+	trail []uint64
+}
+
+// Inc is hot (matches telemetry.Counter.Inc): the instrumentation the
+// per-period loop calls must never allocate or log.
+func (c *Counter) Inc() {
+	c.v++
+	c.trail = append(c.trail, c.v) // want hotpath "append() allocates in hot path"
+	fmt.Println("inc", c.v)        // want hotpath "call to fmt.Println in hot path"
+}
+
+type Gauge struct {
+	bits  uint64
+	names map[string]uint64
+}
+
+// Set is hot (matches telemetry.Gauge.Set).
+func (g *Gauge) Set(v float64) {
+	g.bits = uint64(v)
+	g.names["last"] = g.bits // want hotpath "map access in hot path"
+}
+
+type Span struct {
+	Start uint64
+	Kind  SpanKind
+}
+
+type SpanRecorder struct {
+	ring []Span
+	seq  uint64
+}
+
+// Record is hot (matches telemetry.SpanRecorder.Record).
+func (r *SpanRecorder) Record(kind SpanKind, start uint64) {
+	r.ring[r.seq%uint64(len(r.ring))] = Span{Start: start, Kind: kind}
+	r.seq++
+	snap := r.Spans() // want hotpath "call to allocating snapshot API SpanRecorder.Spans in hot path"
+	_ = snap
+}
+
+// Spans is the allocating snapshot API, banned inside hot functions.
+func (r *SpanRecorder) Spans() []Span {
+	out := make([]Span, len(r.ring))
+	copy(out, r.ring)
+	return out
+}
+
+type Histogram struct {
+	buckets []uint64
+}
+
+// Observe is hot (matches telemetry.Histogram.Observe).
+func (h *Histogram) Observe(v float64) {
+	idx := int(v)
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	labels := []string{"le"} // want hotpath "slice literal allocates in hot path"
+	_ = labels
+}
+
+// kindName switches non-exhaustively over MetricKind.
+func kindName(k MetricKind) string {
+	switch k { // want enumswitch "switch over MetricKind is not exhaustive: missing KindHistogram"
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	}
+	return "?"
+}
+
+// spanName is exhaustive without the numSpanKinds sentinel: no finding.
+func spanName(k SpanKind) string {
+	switch k {
+	case SpanProbe:
+		return "probe"
+	case SpanDetect:
+		return "detect"
+	default:
+		return "?"
+	}
+}
+
+// badSpanName misses SpanDetect.
+func badSpanName(k SpanKind) string {
+	switch k { // want enumswitch "switch over SpanKind is not exhaustive: missing SpanDetect"
+	case SpanProbe:
+		return "probe"
+	default:
+		return "?"
+	}
+}
+
+// coldExport is not in the hot inventory: allocations here are fine.
+func coldExport(r *SpanRecorder) string {
+	var out []byte
+	for _, s := range r.Spans() {
+		out = append(out, []byte(fmt.Sprintf("%d;", s.Start))...)
+	}
+	return string(out)
+}
+
+var _ = kindName
+var _ = spanName
+var _ = badSpanName
+var _ = coldExport

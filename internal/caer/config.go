@@ -75,6 +75,12 @@ type Config struct {
 	// resume. 0 disables the watchdog — an engine driven outside a
 	// Runtime, whose table period never advances, is never degraded.
 	WatchdogPeriods int
+
+	// EventLogCap bounds each engine's decision log to the most recent
+	// EventLogCap events (drop-oldest; evictions are counted and surfaced
+	// through telemetry as caer_engine_log_dropped_total). 0 keeps the
+	// default capacity of 4096.
+	EventLogCap int
 }
 
 // DefaultConfig returns the paper's configuration scaled to the simulated
@@ -126,6 +132,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("caer: RandomP %v out of [0,1]", c.RandomP)
 	case c.WatchdogPeriods < 0:
 		return fmt.Errorf("caer: WatchdogPeriods %d must be non-negative (0 disables)", c.WatchdogPeriods)
+	case c.EventLogCap < 0:
+		return fmt.Errorf("caer: EventLogCap %d must be non-negative (0 = default)", c.EventLogCap)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"caer/internal/comm"
+	"caer/internal/telemetry"
 )
 
 // engineState is the Figure 5 state machine position.
@@ -55,6 +56,19 @@ type Engine struct {
 	// the most-stale neighbour slot has gone watchdog periods without a
 	// fresh sample, the engine degrades to fail-open.
 	watchdog int
+
+	// Span bookkeeping for the telemetry trace: the engine's lane is its
+	// own slot ID, and each in-flight detection protocol / hold / degraded
+	// stretch remembers its start period so the closing tick can record a
+	// single span covering the whole phase.
+	track         int32
+	detActive     bool
+	detStart      uint64
+	shutterActive bool
+	shutterStart  uint64
+	holdDir       comm.Directive
+	holdStart     uint64
+	degradedStart uint64
 }
 
 // engineLogCapacity bounds the decision log's memory footprint.
@@ -81,7 +95,20 @@ func NewEngine(det Detector, resp Responder, own *comm.Slot, neighbors []*comm.S
 	}
 	ns := make([]*comm.Slot, len(neighbors))
 	copy(ns, neighbors)
-	return &Engine{det: det, resp: resp, ownSlot: own, neighborSlots: ns, log: NewEventLog(engineLogCapacity)}
+	e := &Engine{det: det, resp: resp, ownSlot: own, neighborSlots: ns,
+		log: NewEventLog(engineLogCapacity), track: int32(own.ID())}
+	telemetry.DefaultSpans.NameTrack(e.track, "batch/"+own.Name())
+	return e
+}
+
+// SetLogCapacity resizes the engine's decision log to keep the most recent
+// capacity events (default 4096). Like SetWatchdog it must be called before
+// the first Tick so the decision history stays accountable.
+func (e *Engine) SetLogCapacity(capacity int) {
+	if e.stats.Periods > 0 {
+		panic("caer: SetLogCapacity after the first Tick")
+	}
+	e.log = NewEventLog(capacity)
 }
 
 // SetWatchdog arms the engine's staleness watchdog: after periods
@@ -159,9 +186,12 @@ func (e *Engine) LastNeighbor() float64 {
 // where their CAER-M monitors have already published them. Tick returns
 // the directive for the coming period and records it in the table.
 func (e *Engine) Tick(ownMisses float64) comm.Directive {
+	telemetry.EngineTicks.Inc()
 	e.ownSlot.Publish(ownMisses)
 	neighbor := e.LastNeighbor()
 	e.stats.Periods++
+	period := e.stats.Periods - 1
+	telemetry.DefaultSpans.Record(e.track, telemetry.SpanPublish, period, 1, ownMisses)
 
 	// Watchdog: a dead neighbour publisher freezes its window, and a
 	// frozen-high window would wedge the batch in DirectivePause forever
@@ -169,6 +199,7 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 	// before the hold branch so degradation bounds in-flight pauses too.
 	if e.watchdog > 0 {
 		stale := e.maxNeighborStale()
+		telemetry.CommStaleness.Observe(float64(stale))
 		if e.state == stateDegraded {
 			if stale == 0 {
 				// Every neighbour published this period: recover.
@@ -176,19 +207,32 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 				e.holdLeft = 0
 				e.det.Reset()
 				e.resp.Reset()
-				e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventRecovered, NeighborMisses: neighbor})
+				e.log.Append(Event{Period: period, Kind: EventRecovered, NeighborMisses: neighbor})
+				telemetry.DefaultSpans.Record(e.track, telemetry.SpanDegraded,
+					e.degradedStart, uint32(period-e.degradedStart), 0)
 			} else {
 				e.stats.DegradedTicks++
+				telemetry.EngineDegradedTicks.Inc()
 				e.directive = comm.DirectiveRun
 				e.finishTick()
 				return e.directive
 			}
 		} else if stale >= uint64(e.watchdog) {
+			// The trip truncates any phase in flight; the hold that was
+			// cancelled still gets its (shortened) span.
+			if e.state == stateHolding {
+				e.recordHoldSpan(period)
+			}
+			e.detActive = false
+			e.shutterActive = false
 			e.state = stateDegraded
 			e.holdLeft = 0
 			e.stats.WatchdogTrips++
 			e.stats.DegradedTicks++
-			e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventDegraded, StalePeriods: stale})
+			telemetry.EngineWatchdogTrips.Inc()
+			telemetry.EngineDegradedTicks.Inc()
+			e.degradedStart = period
+			e.log.Append(Event{Period: period, Kind: EventDegraded, StalePeriods: stale})
 			e.directive = comm.DirectiveRun
 			e.finishTick()
 			return e.directive
@@ -203,8 +247,9 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 		if release || e.holdLeft <= 0 {
 			e.state = stateDetecting
 			e.det.Reset()
+			e.recordHoldSpan(period + 1)
 			if release {
-				e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventHoldRelease, NeighborMisses: neighbor})
+				e.log.Append(Event{Period: period, Kind: EventHoldRelease, NeighborMisses: neighbor})
 			}
 		}
 		e.finishTick()
@@ -212,20 +257,43 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 	}
 
 	e.stats.DetectionTicks++
+	if !e.detActive {
+		e.detActive = true
+		e.detStart = period
+	}
 	d, v := e.det.Step(ownMisses, neighbor)
 	if v == VerdictPending {
+		// A pausing pending directive is the shutter's closed phase: the
+		// batch is halted so the detector can read the neighbour's steady
+		// miss rate (Algorithm 1).
+		if d == comm.DirectivePause {
+			if !e.shutterActive {
+				e.shutterActive = true
+				e.shutterStart = period
+			}
+		} else {
+			e.recordShutterSpan(period)
+		}
 		e.directive = d
 		e.finishTick()
 		return e.directive
 	}
 
 	contending := v == VerdictContention
+	verdictVal := 0.0
 	if contending {
 		e.stats.CPositive++
+		telemetry.EngineVerdictContention.Inc()
+		verdictVal = 1
 	} else {
 		e.stats.CNegative++
+		telemetry.EngineVerdictClear.Inc()
 	}
-	e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventVerdict, Verdict: v,
+	e.recordShutterSpan(period)
+	telemetry.DefaultSpans.Record(e.track, telemetry.SpanDetect,
+		e.detStart, uint32(period-e.detStart+1), verdictVal)
+	e.detActive = false
+	e.log.Append(Event{Period: period, Kind: EventVerdict, Verdict: v,
 		OwnMisses: ownMisses, NeighborMisses: neighbor})
 	dir, n := e.resp.React(contending, e)
 	if n < 1 {
@@ -236,19 +304,52 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 	if n > 1 {
 		e.state = stateHolding
 		e.holdLeft = n - 1
-		e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventHoldStart, Directive: dir, HoldLen: n})
+		e.holdStart = period
+		e.holdDir = dir
+		telemetry.EngineHolds.Inc()
+		e.log.Append(Event{Period: period, Kind: EventHoldStart, Directive: dir, HoldLen: n})
 	}
 	e.finishTick()
 	return e.directive
 }
 
+// recordHoldSpan closes the in-flight hold span at end (exclusive).
+func (e *Engine) recordHoldSpan(end uint64) {
+	val := 0.0
+	if e.holdDir == comm.DirectivePause {
+		val = 1
+	}
+	n := end - e.holdStart
+	if n == 0 {
+		n = 1
+	}
+	telemetry.DefaultSpans.Record(e.track, telemetry.SpanHold, e.holdStart, uint32(n), val)
+	telemetry.EngineHoldPeriods.Observe(float64(n))
+}
+
+// recordShutterSpan closes the in-flight shutter-closed span, if any, at
+// end (exclusive).
+func (e *Engine) recordShutterSpan(end uint64) {
+	if !e.shutterActive {
+		return
+	}
+	e.shutterActive = false
+	n := end - e.shutterStart
+	if n == 0 {
+		n = 1
+	}
+	telemetry.DefaultSpans.Record(e.track, telemetry.SpanShutter, e.shutterStart, uint32(n), 0)
+}
+
 func (e *Engine) finishTick() {
 	if e.directive == comm.DirectivePause {
 		e.stats.PausedPeriods++
+		telemetry.EnginePausedPeriods.Inc()
 	} else {
 		e.stats.RunPeriods++
 	}
 	if !e.everDirected || e.directive != e.loggedDir {
+		telemetry.EngineDirectiveChanges.Inc()
 		e.log.Append(Event{Period: e.stats.Periods - 1, Kind: EventDirective, Directive: e.directive})
 		e.loggedDir = e.directive
 		e.everDirected = true

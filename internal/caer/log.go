@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"caer/internal/comm"
+	"caer/internal/telemetry"
 )
 
 // EventKind classifies a decision-log entry.
@@ -101,10 +102,14 @@ func NewEventLog(capacity int) *EventLog {
 	return &EventLog{events: make([]Event, capacity)}
 }
 
-// Append records one event, evicting the oldest when full.
+// Append records one event, evicting the oldest when full. Evictions are
+// surfaced live through telemetry (caer_engine_log_dropped_total) so an
+// operator can tell a quiet engine from one whose history is being
+// truncated faster than it is collected.
 func (l *EventLog) Append(e Event) {
 	l.total++
 	if l.count == len(l.events) {
+		telemetry.EngineLogDropped.Inc()
 		l.events[l.head] = e
 		l.head = (l.head + 1) % len(l.events)
 		return
@@ -118,6 +123,12 @@ func (l *EventLog) Len() int { return l.count }
 
 // Total returns the lifetime event count (including evicted events).
 func (l *EventLog) Total() uint64 { return l.total }
+
+// Cap returns the ring capacity.
+func (l *EventLog) Cap() int { return len(l.events) }
+
+// Dropped returns how many events the ring has evicted.
+func (l *EventLog) Dropped() uint64 { return l.total - uint64(l.count) }
 
 // Events returns the retained events oldest-first.
 func (l *EventLog) Events() []Event {

@@ -3,6 +3,7 @@ package caer
 import (
 	"caer/internal/comm"
 	"caer/internal/pmu"
+	"caer/internal/telemetry"
 )
 
 // Monitor is the lightweight CAER-M virtual layer that lies beneath a
@@ -14,6 +15,11 @@ type Monitor struct {
 	pmu  *pmu.PMU
 	slot *comm.Slot
 	down bool
+	// track/period drive the telemetry probe spans: the monitor's lane is
+	// its slot ID, and period counts its own ticks (down ticks included) so
+	// the lane stays aligned with the engines', which tick every period.
+	track  int32
+	period uint64
 }
 
 // NewMonitor binds a PMU view to a latency-sensitive table slot. It panics
@@ -25,7 +31,9 @@ func NewMonitor(p *pmu.PMU, slot *comm.Slot) *Monitor {
 	if slot == nil || slot.Role() != comm.RoleLatency {
 		panic("caer: monitor's slot must be latency-sensitive")
 	}
-	return &Monitor{pmu: p, slot: slot}
+	m := &Monitor{pmu: p, slot: slot, track: int32(slot.ID())}
+	telemetry.DefaultSpans.NameTrack(m.track, "latency/"+slot.Name())
+	return m
 }
 
 // Slot returns the monitor's table slot.
@@ -49,8 +57,11 @@ func (m *Monitor) Down() bool { return m.down }
 // Tick performs one periodic probe: read-and-restart the LLC-miss counter
 // and publish the delta. A crashed monitor does nothing.
 func (m *Monitor) Tick() {
+	m.period++
 	if m.down {
 		return
 	}
-	m.slot.Publish(float64(m.pmu.ReadDelta(pmu.EventLLCMisses)))
+	v := float64(m.pmu.ReadDelta(pmu.EventLLCMisses))
+	m.slot.Publish(v)
+	telemetry.DefaultSpans.Record(m.track, telemetry.SpanProbe, m.period-1, 1, v)
 }

@@ -2,10 +2,12 @@ package caer
 
 import (
 	"fmt"
+	"strconv"
 
 	"caer/internal/comm"
 	"caer/internal/machine"
 	"caer/internal/pmu"
+	"caer/internal/telemetry"
 )
 
 // HeuristicKind selects which detection/response pairing a runtime uses:
@@ -139,6 +141,18 @@ type Runtime struct {
 	relaunches      int
 	batchRelaunches []int // per batch application, in registration order
 	started         bool
+
+	// Per-core live gauges for caer-top, registered once in start() so the
+	// per-period updates in Step stay allocation-free.
+	latGauges []coreGauges // one per latency app
+	engGauges []coreGauges // one per batch app
+}
+
+// coreGauges is one core's live telemetry view.
+type coreGauges struct {
+	pressure  *telemetry.Gauge // windowed LLC-miss mean
+	directive *telemetry.Gauge // 0 = run, 1 = pause (batch only)
+	degraded  *telemetry.Gauge // 1 while failing open (batch only)
 }
 
 // Option customizes a Runtime.
@@ -244,11 +258,33 @@ func (rt *Runtime) start() {
 	for _, b := range rt.batch {
 		eng := NewEngine(rt.kind.NewDetector(rt.cfg), rt.kind.NewResponder(rt.cfg), b.slot, neighborSlots)
 		eng.SetWatchdog(rt.cfg.WatchdogPeriods)
+		if rt.cfg.EventLogCap > 0 {
+			eng.SetLogCapacity(rt.cfg.EventLogCap)
+		}
 		rt.engines = append(rt.engines, eng)
 		rt.enginePM = append(rt.enginePM, pmu.New(rt.src, b.core))
+		rt.engGauges = append(rt.engGauges, rt.registerCoreGauges(b, comm.RoleBatch))
+	}
+	for _, a := range rt.latency {
+		rt.latGauges = append(rt.latGauges, rt.registerCoreGauges(a, comm.RoleLatency))
 	}
 	rt.batchRelaunches = make([]int, len(rt.batch))
 	rt.started = true
+}
+
+// registerCoreGauges pre-registers one application's live per-core series.
+// Setup path: registration allocates so Step does not have to.
+func (rt *Runtime) registerCoreGauges(a app, role comm.Role) coreGauges {
+	reg := telemetry.Default()
+	kv := []string{"core", strconv.Itoa(a.core), "app", a.name, "role", role.String()}
+	g := coreGauges{
+		pressure: reg.Gauge("caer_core_pressure", "windowed LLC-miss mean per core", kv...),
+	}
+	if role == comm.RoleBatch {
+		g.directive = reg.Gauge("caer_core_directive", "current directive per batch core (0 run, 1 pause)", kv...)
+		g.degraded = reg.Gauge("caer_core_degraded", "1 while the core's engine is failing open", kv...)
+	}
+	return g
 }
 
 // Step executes one sampling period: run the machine for one period, have
@@ -284,6 +320,24 @@ func (rt *Runtime) Step() {
 			b.proc.Relaunch()
 			rt.relaunches++
 			rt.batchRelaunches[i]++
+			telemetry.RunnerRelaunches.Inc()
+		}
+	}
+	for i, a := range rt.latency {
+		rt.latGauges[i].pressure.Set(a.slot.WindowMean())
+	}
+	for i, eng := range rt.engines {
+		g := rt.engGauges[i]
+		g.pressure.Set(eng.OwnMean())
+		if eng.Directive() == comm.DirectivePause {
+			g.directive.Set(1)
+		} else {
+			g.directive.Set(0)
+		}
+		if eng.Degraded() {
+			g.degraded.Set(1)
+		} else {
+			g.degraded.Set(0)
 		}
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"math"
 	"os"
 	"syscall"
+
+	"caer/internal/telemetry"
 )
 
 // ShmTable is a communication table backed by a memory-mapped file, so that
@@ -185,6 +187,7 @@ func (t *ShmTable) DirectiveOf(i int) Directive {
 // sequence number, and stamps the publish with the table's current period
 // (single writer per slot).
 func (t *ShmTable) Publish(i int, v float64) {
+	telemetry.CommPublishes.Inc()
 	off := t.slotOff(i)
 	published := binary.LittleEndian.Uint64(t.data[off+slotOffPublished:])
 	head := int(binary.LittleEndian.Uint32(t.data[off+slotOffHead:]))

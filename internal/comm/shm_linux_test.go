@@ -246,3 +246,24 @@ func TestShmTableStalePeriods(t *testing.T) {
 		t.Errorf("attached Published = %d, want 5", attached.Published(0))
 	}
 }
+
+// TestShmTableHotPathAllocs pins the shared-memory hot path at zero
+// allocations: the engine reads WindowMean for every neighbor every period
+// and the monitor publishes every period, both on the 1 ms loop.
+func TestShmTableHotPathAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "caer.tbl")
+	tab, err := CreateShmTable(path, 8, 2)
+	if err != nil {
+		t.Fatalf("CreateShmTable: %v", err)
+	}
+	defer tab.Close()
+	for i := 0; i < 8; i++ {
+		tab.Publish(0, float64(i))
+	}
+	if n := testing.AllocsPerRun(1000, func() { tab.WindowMean(0) }); n != 0 {
+		t.Errorf("ShmTable.WindowMean allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { tab.Publish(0, 42) }); n != 0 {
+		t.Errorf("ShmTable.Publish allocates %v per run, want 0", n)
+	}
+}

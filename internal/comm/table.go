@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"caer/internal/stats"
+	"caer/internal/telemetry"
 )
 
 // Role classifies an application the way the paper's data centers do.
@@ -93,6 +94,7 @@ func (s *Slot) Role() Role { return s.role }
 // stamps the publish with the table's current period. Only the owning CAER
 // layer calls Publish.
 func (s *Slot) Publish(llcMisses float64) {
+	telemetry.CommPublishes.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.window.Push(llcMisses)
@@ -210,7 +212,7 @@ func (t *Table) WindowSize() int { return t.windowSize }
 // BumpPeriod advances the table's sampling-period counter. The deployment
 // driver calls it exactly once per period, before the period's publishes,
 // so that StalePeriods measures publisher liveness in periods.
-func (t *Table) BumpPeriod() { t.period.Add(1) }
+func (t *Table) BumpPeriod() { telemetry.CommPeriod.Set(float64(t.period.Add(1))) }
 
 // Period returns the table's current sampling-period counter.
 func (t *Table) Period() uint64 { return t.period.Load() }
@@ -257,6 +259,7 @@ func (t *Table) SlotsByRole(role Role) []*Slot {
 // table lock rather than taking a snapshot — this runs once per sampling
 // period and must not allocate.
 func (t *Table) BroadcastDirective(d Directive) {
+	telemetry.CommBroadcasts.Inc()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, s := range t.slots {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"caer/internal/telemetry"
 )
 
 // FaultConfig parameterises a FaultSource. Every probability is evaluated
@@ -145,21 +147,25 @@ func (f *FaultSource) ReadCounter(core int, ev Event) uint64 {
 		// cumulative value regresses to (almost) nothing.
 		st.resetBase = raw + st.offset
 		f.counts.Resets++
+		telemetry.PMUFaultResets.Inc()
 		v = 0
 	case roll < f.cfg.ResetProb+f.cfg.SpikeProb:
 		jump := uint64(f.rng.Int63n(int64(f.cfg.SpikeMax))) + 1
 		st.offset += jump
 		f.counts.Spikes++
+		telemetry.PMUFaultSpikes.Inc()
 		v += jump
 	case roll < f.cfg.ResetProb+f.cfg.SpikeProb+f.cfg.DropProb:
 		if st.read {
 			f.counts.Drops++
+			telemetry.PMUFaultDrops.Inc()
 			return st.last // stale read; do not advance last
 		}
 	case roll < f.cfg.ResetProb+f.cfg.SpikeProb+f.cfg.DropProb+f.cfg.JitterProb:
 		// Transient early/late probe: over-report now, which makes the
 		// next clean read appear to regress by the same amount.
 		f.counts.Jitters++
+		telemetry.PMUFaultJitters.Inc()
 		v += uint64(f.rng.Int63n(int64(f.cfg.JitterMax))) + 1
 	}
 	st.last = v

@@ -9,7 +9,11 @@
 // (see internal/perf for a Linux perf_event_open implementation of Source).
 package pmu
 
-import "fmt"
+import (
+	"fmt"
+
+	"caer/internal/telemetry"
+)
 
 // Event identifies a hardware event a counter can be programmed to count.
 type Event int
@@ -100,10 +104,12 @@ func (p *PMU) Arm() {
 // the PMU instead re-arms at the regressed value and reports a zero delta
 // for the period; counting resumes from the new base on the next probe.
 func (p *PMU) ReadDelta(ev Event) uint64 {
+	telemetry.PMUReads.Inc()
 	cur := p.src.ReadCounter(p.core, ev)
 	last := p.last[ev]
 	p.last[ev] = cur
 	if cur < last {
+		telemetry.PMURearms.Inc()
 		return 0
 	}
 	return cur - last
@@ -156,6 +162,7 @@ func NewSampler(pmu *PMU, events []Event, record bool) *Sampler {
 // Each call represents one sampling period (1 ms in the paper). The probe
 // itself is allocation-free; only the opt-in recording mode grows state.
 func (s *Sampler) Probe() Sample {
+	telemetry.PMUProbes.Inc()
 	sm := Sample{Period: s.period}
 	for _, e := range s.events {
 		sm.Values[e] = s.pmu.ReadDelta(e)

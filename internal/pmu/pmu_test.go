@@ -203,3 +203,17 @@ func TestPMUDeltasSumToCumulativeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSamplerProbeAllocs pins the per-period probe at zero allocations: the
+// telemetry spine and the fixed-array Sample must keep the 1 ms loop free of
+// garbage-collector pressure.
+func TestSamplerProbeAllocs(t *testing.T) {
+	src := newFakeSource()
+	src.bump(0, EventLLCMisses, 100)
+	src.bump(0, EventInstrRetired, 400)
+	s := NewSampler(New(src, 0), []Event{EventLLCMisses, EventInstrRetired}, false)
+	s.Probe()
+	if n := testing.AllocsPerRun(1000, func() { s.Probe() }); n != 0 {
+		t.Errorf("Sampler.Probe allocates %v per run, want 0", n)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"caer/internal/pmu"
 	"caer/internal/sched"
 	"caer/internal/spec"
+	"caer/internal/telemetry"
 )
 
 // Mode distinguishes the three ways a scenario can run.
@@ -240,12 +241,16 @@ func Run(s Scenario) Result {
 	s = s.withDefaults()
 	switch s.Mode {
 	case ModeAlone:
+		telemetry.RunnerRunsAlone.Inc()
 		return runAlone(s)
 	case ModeNativeColo:
+		telemetry.RunnerRunsNative.Inc()
 		return runNative(s)
 	case ModeCAER:
+		telemetry.RunnerRunsCAER.Inc()
 		return runCAER(s)
 	case ModeScheduled:
+		telemetry.RunnerRunsScheduled.Inc()
 		return runScheduled(s)
 	default:
 		panic(fmt.Sprintf("runner: unknown mode %d", int(s.Mode)))

@@ -1,6 +1,9 @@
 package sched
 
-import "caer/internal/stats"
+import (
+	"caer/internal/stats"
+	"caer/internal/telemetry"
+)
 
 // classifierWindow is the sliding-window length (in sampling periods) over
 // which per-app miss and reuse rates are averaged before scoring.
@@ -120,12 +123,18 @@ func (c *Classifier) Observe(app int, misses, hits float64) {
 		p.aggrHi++
 		p.aggrLo = 0
 		if p.aggrHi >= c.hysteresis {
+			if !p.aggressor {
+				telemetry.SchedFlipsAggressor.Inc()
+			}
 			p.aggressor = true
 		}
 	} else if aggr <= classOffScore {
 		p.aggrLo++
 		p.aggrHi = 0
 		if p.aggrLo >= c.hysteresis {
+			if p.aggressor {
+				telemetry.SchedFlipsAggressor.Inc()
+			}
 			p.aggressor = false
 		}
 	} else {
@@ -138,12 +147,18 @@ func (c *Classifier) Observe(app int, misses, hits float64) {
 		p.sensHi++
 		p.sensLo = 0
 		if p.sensHi >= c.hysteresis {
+			if !p.sensitive {
+				telemetry.SchedFlipsSensitive.Inc()
+			}
 			p.sensitive = true
 		}
 	} else if sens <= classOffScore {
 		p.sensLo++
 		p.sensHi = 0
 		if p.sensLo >= c.hysteresis {
+			if p.sensitive {
+				telemetry.SchedFlipsSensitive.Inc()
+			}
 			p.sensitive = false
 		}
 	} else {

@@ -32,6 +32,7 @@ import (
 	"caer/internal/comm"
 	"caer/internal/machine"
 	"caer/internal/pmu"
+	"caer/internal/telemetry"
 )
 
 // DecisionKind classifies an entry of the scheduler's decision log.
@@ -304,6 +305,7 @@ func (s *Scheduler) Submit(j Job) int {
 		core:   -1,
 		domain: -1,
 	}
+	telemetry.DefaultSpans.NameTrack(int32(js.slot.ID()), "job/"+j.Name)
 	s.jobs = append(s.jobs, js)
 	return len(s.jobs) - 1
 }
@@ -361,6 +363,14 @@ func (s *Scheduler) Step() {
 	s.ageQueue()
 	s.admit()
 	s.maybeMigrate()
+	telemetry.SchedQueueDepth.Set(float64(s.queue.len()))
+	running := 0
+	for _, j := range s.jobs {
+		if j.state == JobRunning {
+			running++
+		}
+	}
+	telemetry.SchedRunning.Set(float64(running))
 }
 
 // RunUntil steps until stop returns true or maxPeriods elapse, returning
@@ -462,6 +472,13 @@ func (s *Scheduler) finishJobs() {
 		s.freeCount[j.domain]++
 		j.state = JobDone
 		j.done = s.period
+		telemetry.SchedCompletions.Inc()
+		residency := s.period - j.admitted
+		if residency == 0 {
+			residency = 1
+		}
+		telemetry.DefaultSpans.Record(int32(j.slot.ID()), telemetry.SpanJob,
+			j.admitted, uint32(residency), float64(j.migrations))
 		s.decisions = append(s.decisions, Decision{
 			Period: s.period, Kind: DecisionComplete, Job: i, Name: j.spec.Name,
 			From: j.domain, To: -1, Core: j.core, Queued: s.queue.len(),
@@ -502,6 +519,9 @@ func (s *Scheduler) admit() {
 		}
 		aged := j.waited >= s.cfg.AgingBound
 		if !aged && (admitted > 0 || interferenceScore(s.views[d], aggr) > s.cfg.AdmitThreshold) {
+			if admitted == 0 {
+				telemetry.SchedVetoes.Inc()
+			}
 			return // pressure too high where the policy would place us
 		}
 		s.admitTo(head, j, d, aged)
@@ -529,6 +549,14 @@ func (s *Scheduler) admitTo(head int, j *jobState, d int, aged bool) {
 	s.placer.Commit(d)
 	if j.waited > s.maxWait {
 		s.maxWait = j.waited
+	}
+	telemetry.SchedAdmissions.Inc()
+	if aged {
+		telemetry.SchedAgedBypasses.Inc()
+	}
+	if j.waited > 0 {
+		telemetry.DefaultSpans.Record(int32(j.slot.ID()), telemetry.SpanQueued,
+			s.period-uint64(j.waited), uint32(j.waited), float64(s.queue.len()))
 	}
 	s.decisions = append(s.decisions, Decision{
 		Period: s.period, Kind: DecisionAdmit, Job: head, Name: j.spec.Name,
@@ -628,6 +656,7 @@ func (s *Scheduler) maybeMigrate() {
 	s.coreBusy[core] = true
 	s.freeCount[bestTo]--
 	s.migrations++
+	telemetry.SchedMigrations.Inc()
 	s.decisions = append(s.decisions, Decision{
 		Period: s.period, Kind: DecisionMigrate, Job: bestJob, Name: j.spec.Name,
 		From: oldDomain, To: bestTo, Core: core, Queued: s.queue.len(),

@@ -53,6 +53,28 @@ func (h *Histogram) Add(v float64) {
 	}
 }
 
+// AddN records n samples of value v at once. Aggregation paths (e.g.
+// converting telemetry's atomic bucket counts into a Histogram for quantile
+// math) use this to replay bucketed counts without a per-sample loop.
+func (h *Histogram) AddN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.n += n
+	switch {
+	case v < h.min:
+		h.under += n
+	case v >= h.max:
+		h.over += n
+	default:
+		idx := int((v - h.min) / h.width)
+		if idx >= len(h.buckets) { // float edge case at the top boundary
+			idx = len(h.buckets) - 1
+		}
+		h.buckets[idx] += n
+	}
+}
+
 // N returns the total sample count.
 func (h *Histogram) N() uint64 { return h.n }
 

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func newTestRecorder(capacity int) (*SpanRecorder, *atomic.Uint64) {
+	var self atomic.Uint64
+	return NewSpanRecorder(capacity, &self), &self
+}
+
+func TestSpanRecorderBasics(t *testing.T) {
+	rec, self := newTestRecorder(4)
+	rec.Record(0, SpanProbe, 10, 1, 5)
+	rec.Record(1, SpanDetect, 10, 3, 1)
+	if got := rec.Total(); got != 2 {
+		t.Fatalf("Total() = %d, want 2", got)
+	}
+	if got := rec.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d, want 0", got)
+	}
+	if got := self.Load(); got != 2 {
+		t.Fatalf("self ops = %d, want 2", got)
+	}
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("len(Spans()) = %d, want 2", len(spans))
+	}
+	want := Span{Start: 10, Periods: 3, Kind: SpanDetect, Track: 1, Value: 1}
+	if spans[1] != want {
+		t.Fatalf("Spans()[1] = %+v, want %+v", spans[1], want)
+	}
+}
+
+func TestSpanRecorderDropOldest(t *testing.T) {
+	rec, _ := newTestRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Record(0, SpanProbe, uint64(i), 1, 0)
+	}
+	if got := rec.Total(); got != 10 {
+		t.Fatalf("Total() = %d, want 10", got)
+	}
+	if got := rec.Dropped(); got != 6 {
+		t.Fatalf("Dropped() = %d, want 6", got)
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("len(Spans()) = %d, want 4 (ring cap)", len(spans))
+	}
+	// Oldest-first: starts 6, 7, 8, 9 survive.
+	for i, s := range spans {
+		if want := uint64(6 + i); s.Start != want {
+			t.Errorf("Spans()[%d].Start = %d, want %d", i, s.Start, want)
+		}
+	}
+}
+
+func TestSpanRecorderRejectsBadSetup(t *testing.T) {
+	var self atomic.Uint64
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero capacity", func() { NewSpanRecorder(0, &self) }},
+		{"nil self", func() { NewSpanRecorder(8, nil) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	names := map[SpanKind]string{
+		SpanProbe:    "probe",
+		SpanPublish:  "publish",
+		SpanDetect:   "detect",
+		SpanShutter:  "shutter",
+		SpanHold:     "hold",
+		SpanDegraded: "degraded",
+		SpanQueued:   "queued",
+		SpanJob:      "job",
+		SpanKind(99): "SpanKind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	// Every real kind has a distinct non-default name.
+	seen := map[string]bool{}
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "SpanKind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate span kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	rec, _ := newTestRecorder(16)
+	rec.NameTrack(0, "latency/lbm")
+	rec.NameTrack(1, "batch/mcf")
+	rec.Record(0, SpanProbe, 0, 1, 12345)
+	rec.Record(1, SpanDetect, 2, 4, 1)
+	rec.Record(1, SpanHold, 6, 8, 1)
+
+	var sb strings.Builder
+	if err := rec.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseChromeTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("export did not parse back: %v", err)
+	}
+
+	var meta, complete int
+	byName := map[string]ChromeEvent{}
+	for _, e := range events {
+		switch e.Phase {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			byName[e.Name] = e
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if meta != 2 {
+		t.Errorf("metadata events = %d, want 2 (one per named track)", meta)
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3 (one per span)", complete)
+	}
+	// 1 period = 1000 µs: the hold span starts at period 6 for 8 periods.
+	hold := byName["hold"]
+	if hold.Ts != 6000 || hold.Dur != 8000 || hold.Tid != 1 {
+		t.Errorf("hold event = %+v, want ts=6000 dur=8000 tid=1", hold)
+	}
+	if v := byName["probe"].ArgNumber("value"); v != 12345 {
+		t.Errorf("probe value = %v, want 12345", v)
+	}
+}
+
+func TestChromeMetadataJSONShape(t *testing.T) {
+	rec, _ := newTestRecorder(4)
+	rec.NameTrack(3, "core3")
+	var sb strings.Builder
+	if err := rec.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{`"ph":"M"`, `"name":"thread_name"`, `"core3"`, `"tid":3`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chrome JSON missing %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestTrackNames(t *testing.T) {
+	rec, _ := newTestRecorder(4)
+	rec.NameTrack(7, "batch/milc")
+	if got := rec.TrackName(7); got != "batch/milc" {
+		t.Fatalf("TrackName(7) = %q", got)
+	}
+	if got := rec.TrackName(8); got != "" {
+		t.Fatalf("TrackName(8) = %q, want empty", got)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"caer/internal/telemetry"
+)
+
+// chromePeriodMicros maps one sampling period to Chrome trace time: the
+// paper's 1 ms period is 1000 trace microseconds, matching the span
+// recorder's export so both kinds of trace line up in Perfetto.
+const chromePeriodMicros = 1000
+
+// ChromeEvents converts the recorded run into Chrome trace events: per
+// core, a thread-name metadata event, "C" counter events carrying the
+// per-period LLC misses and instructions, and one "X" slice per contiguous
+// paused stretch (the visible shape of CAER's throttling).
+func (t *Trace) ChromeEvents() []telemetry.ChromeEvent {
+	events := make([]telemetry.ChromeEvent, 0, t.CoreCount*(2+len(t.Records)))
+	for core := 0; core < t.CoreCount; core++ {
+		events = append(events, telemetry.ChromeEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: core,
+			Args: map[string]any{"name": "core" + strconv.Itoa(core)},
+		})
+	}
+	for core := 0; core < t.CoreCount; core++ {
+		pausedFrom := int64(-1)
+		var pausedStart uint64
+		for _, r := range t.Records {
+			c := r.Cores[core]
+			events = append(events, telemetry.ChromeEvent{
+				Name:  "pmu",
+				Phase: "C",
+				Ts:    float64(r.Period) * chromePeriodMicros,
+				Pid:   1,
+				Tid:   core,
+				Args: map[string]any{
+					"llc_misses":   float64(c.LLCMisses),
+					"instructions": float64(c.Instructions),
+				},
+			})
+			switch {
+			case c.Paused && pausedFrom < 0:
+				pausedFrom = int64(r.Period)
+				pausedStart = r.Period
+			case !c.Paused && pausedFrom >= 0:
+				events = append(events, pausedSlice(core, pausedStart, r.Period))
+				pausedFrom = -1
+			}
+		}
+		if pausedFrom >= 0 && len(t.Records) > 0 {
+			last := t.Records[len(t.Records)-1].Period
+			events = append(events, pausedSlice(core, pausedStart, last+1))
+		}
+	}
+	return events
+}
+
+// pausedSlice renders one contiguous throttled stretch [from, to).
+func pausedSlice(core int, from, to uint64) telemetry.ChromeEvent {
+	return telemetry.ChromeEvent{
+		Name:  "paused",
+		Phase: "X",
+		Ts:    float64(from) * chromePeriodMicros,
+		Dur:   float64(to-from) * chromePeriodMicros,
+		Pid:   1,
+		Tid:   core,
+	}
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON, loadable by
+// Perfetto and chrome://tracing.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if err := telemetry.WriteChromeTrace(w, t.ChromeEvents()); err != nil {
+		return fmt.Errorf("trace: write chrome trace: %w", err)
+	}
+	return nil
+}
+
+// ParseChromeEvents parses a Chrome trace-event export produced by
+// WriteChrome (or by the telemetry span recorder) back into events.
+func ParseChromeEvents(r io.Reader) ([]telemetry.ChromeEvent, error) {
+	return telemetry.ParseChromeTrace(r)
+}
+
+// PeriodCountFromChrome returns the number of distinct periods covered by a
+// parsed Chrome export's counter events — the round-trip check that an
+// exported trace carries every recorded period.
+func PeriodCountFromChrome(events []telemetry.ChromeEvent) int {
+	periods := make(map[float64]bool)
+	for _, e := range events {
+		if e.Phase == "C" {
+			periods[e.Ts] = true
+		}
+	}
+	return len(periods)
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// buildTrace records a small two-core run with a paused stretch on core 1
+// spanning periods 2..3 and a trailing paused period on core 0.
+func buildTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New(2)
+	for p := uint64(0); p < 5; p++ {
+		cores := make([]CoreSample, 2)
+		for c := range cores {
+			cores[c] = CoreSample{
+				LLCMisses:    1000*p + uint64(c),
+				Instructions: 5000*p + uint64(c),
+			}
+		}
+		cores[1].Paused = p == 2 || p == 3
+		cores[0].Paused = p == 4
+		tr.Append(p, cores)
+	}
+	return tr
+}
+
+// TestChromeRoundTrip is the ISSUE-mandated check: export the trace as
+// Chrome JSON, parse it back, and the distinct period count must match the
+// recorded length.
+func TestChromeRoundTrip(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("write chrome: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("chrome export is not valid JSON")
+	}
+	events, err := ParseChromeEvents(&buf)
+	if err != nil {
+		t.Fatalf("parse chrome: %v", err)
+	}
+	if got := PeriodCountFromChrome(events); got != tr.Len() {
+		t.Fatalf("round-trip period count = %d, want %d", got, tr.Len())
+	}
+}
+
+func TestChromeEventShapes(t *testing.T) {
+	tr := buildTrace(t)
+	events := tr.ChromeEvents()
+
+	var meta, counters, paused int
+	for _, e := range events {
+		switch e.Phase {
+		case "M":
+			meta++
+		case "C":
+			counters++
+		case "X":
+			paused++
+			if e.Name != "paused" {
+				t.Errorf("X event named %q, want paused", e.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if meta != tr.CoreCount {
+		t.Errorf("metadata events = %d, want %d", meta, tr.CoreCount)
+	}
+	if want := tr.CoreCount * tr.Len(); counters != want {
+		t.Errorf("counter events = %d, want %d", counters, want)
+	}
+	// One merged stretch on core 1 (periods 2..3) and one trailing
+	// open stretch on core 0 (period 4), closed at end-of-trace.
+	if paused != 2 {
+		t.Errorf("paused slices = %d, want 2", paused)
+	}
+	for _, e := range events {
+		if e.Phase != "X" {
+			continue
+		}
+		switch e.Tid {
+		case 1:
+			if e.Ts != 2000 || e.Dur != 2000 {
+				t.Errorf("core1 paused slice ts=%v dur=%v, want 2000/2000", e.Ts, e.Dur)
+			}
+		case 0:
+			if e.Ts != 4000 || e.Dur != 1000 {
+				t.Errorf("core0 paused slice ts=%v dur=%v, want 4000/1000", e.Ts, e.Dur)
+			}
+		}
+	}
+}
+
+func TestChromeCounterArgs(t *testing.T) {
+	tr := buildTrace(t)
+	for _, e := range tr.ChromeEvents() {
+		if e.Phase != "C" || e.Ts != 3000 || e.Tid != 1 {
+			continue
+		}
+		if got := e.ArgNumber("llc_misses"); got != 3001 {
+			t.Errorf("llc_misses arg = %v, want 3001", got)
+		}
+		if got := e.ArgNumber("instructions"); got != 15001 {
+			t.Errorf("instructions arg = %v, want 15001", got)
+		}
+		return
+	}
+	t.Fatal("counter event for core 1 period 3 not found")
+}
+
+func TestChromeEmptyTrace(t *testing.T) {
+	tr := New(2)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("write chrome: %v", err)
+	}
+	events, err := ParseChromeEvents(&buf)
+	if err != nil {
+		t.Fatalf("parse chrome: %v", err)
+	}
+	if got := PeriodCountFromChrome(events); got != 0 {
+		t.Errorf("empty trace period count = %d, want 0", got)
+	}
+}
