@@ -7,10 +7,26 @@ set -eux
 go build ./...
 go vet ./...
 go run ./cmd/caer-vet ./...
-go test -race ./...
+go test -race -coverprofile=coverage.out ./...
+# Coverage ratchet: total statement coverage must not fall below
+# CAER_COVERAGE_MIN (default 80, one point under the measured baseline —
+# raise it as coverage grows, never lower it to absorb a regression).
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
+awk -v t="$total" -v min="${CAER_COVERAGE_MIN:-80}" 'BEGIN { exit !(t+0 >= min+0) }' || {
+    echo "coverage gate: total $total% below CAER_COVERAGE_MIN=${CAER_COVERAGE_MIN:-80}%" >&2; exit 1; }
+# Fuzz smoke: run each parser fuzz target briefly so the checked-in seed
+# corpus and any new corpus entries actually execute against the invariants
+# (go's fuzzer accepts one target per invocation).
+go test -run='^$' -fuzz='^FuzzParseText$' -fuzztime=10s ./internal/telemetry
+go test -run='^$' -fuzz='^FuzzParseChromeTrace$' -fuzztime=10s ./internal/trace
 # Chaos gate: the fault-injection regimes (DESIGN.md §8) in short mode —
 # every fault class must fail open under every heuristic.
 go run ./cmd/caer-bench -chaos -quick > /dev/null
+# Perf gate: the performance baseline (DESIGN.md §11) in short mode — the
+# suite exits non-zero if the parallel domain stepper's results are not
+# byte-identical to the serial run's (the determinism contract).
+go run ./cmd/caer-bench -perf -quick > /dev/null
+rm -f BENCH_perf.json
 # Scheduler gate: the placement regimes (DESIGN.md §9) in short mode —
 # contention-aware placement must beat round-robin at equal throughput
 # (asserted by the experiments suite test; this exercises the artifact path).

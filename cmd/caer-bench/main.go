@@ -8,7 +8,7 @@
 //	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
-//	           [-chaos] [-sched]
+//	           [-chaos] [-sched] [-perf] [-workers N]
 //	           [-telemetry addr] [-telemetry-out FILE]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
@@ -25,6 +25,14 @@
 // machine, printed as a table and written as machine-readable
 // BENCH_sched.json (into -csv DIR when given, else the working directory).
 // Like -chaos, it skips the figures unless -fig is set explicitly.
+//
+// -perf runs the performance baseline suite (DESIGN.md §11): ns/op for each
+// stage of the per-period pipeline (cache step, hierarchy access, PMU probe,
+// comm publish, engine tick, sched tick), periods/sec for the end-to-end
+// CAER pipeline and the batched multi-domain machine, and the wall-clock
+// speedup plus byte-identity check of a 4-domain scheduled scenario at
+// Workers=1 versus -workers. Writes BENCH_perf.json and exits non-zero if
+// the parallel run's results are not byte-identical to the serial run's.
 package main
 
 import (
@@ -52,6 +60,8 @@ func main() {
 	ablation := flag.String("ablation", "", "additionally run ablations: partition, response, tuning, adversary, multiapp (comma-separated or 'all')")
 	chaos := flag.Bool("chaos", false, "run the fault-injection regime suite (skips figures unless -fig is set explicitly)")
 	schedFlag := flag.Bool("sched", false, "run the scheduler regime suite and write BENCH_sched.json (skips figures unless -fig is set explicitly)")
+	perfFlag := flag.Bool("perf", false, "run the performance baseline suite and write BENCH_perf.json (skips figures unless -fig is set explicitly)")
+	workers := flag.Int("workers", 4, "domain-stepper worker pool size for -perf parallel measurements and -sched")
 	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
 	telemetryOut := flag.String("telemetry-out", "", "write a Prometheus-text telemetry snapshot to this file after the run")
 	flag.Parse()
@@ -86,7 +96,7 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	if (*chaos || *schedFlag) && !figSetExplicitly {
+	if (*chaos || *schedFlag || *perfFlag) && !figSetExplicitly {
 		want = map[string]bool{}
 	}
 	all := want["all"]
@@ -210,9 +220,32 @@ func main() {
 		}
 		fmt.Fprintf(out, "\nall regimes fail open: latency app completed under every fault class\n")
 	}
+	if *perfFlag {
+		fmt.Fprintf(out, "\n")
+		perf := experiments.PerfSuite(*seed, *quick, *workers)
+		if err := perf.Render(out); err != nil {
+			fatalf("render perf baseline: %v", err)
+		}
+		if !perf.Speedup.Identical {
+			fatalf("determinism violation: Workers=1 and Workers=%d scheduled results differ", perf.Speedup.Workers)
+		}
+		path := "BENCH_perf.json"
+		if *csvDir != "" {
+			path = filepath.Join(*csvDir, path)
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		if err := perf.WriteJSON(fh); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fh.Close()
+		fmt.Fprintf(out, "[wrote %s]\n", path)
+	}
 	if *schedFlag {
 		fmt.Fprintf(out, "\n")
-		regime := experiments.SchedRegimeSuite(*seed, *quick)
+		regime := experiments.SchedRegimeSuiteWorkers(*seed, *quick, *workers)
 		if err := regime.Render(out); err != nil {
 			fatalf("render scheduler regimes: %v", err)
 		}

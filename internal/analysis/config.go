@@ -80,6 +80,17 @@ func DefaultConfig() *Config {
 			"pmu.PMU.ReadDelta", "pmu.PMU.Peek", "pmu.Sampler.Probe",
 			// Simulated hardware counter read feeding the PMU.
 			"machine.Machine.ReadCounter",
+			// Machine period loop: the cycle-stepping core every mode drives.
+			// dispatch/domainWorker are deliberately NOT inventoried — the
+			// pool's channel handoff is paid once per batch, not per access.
+			"machine.Machine.RunPeriod", "machine.Machine.RunPeriods",
+			"machine.Machine.stepDomain", "machine.Machine.runSlice",
+			// Memory-hierarchy access path, executed per simulated reference
+			// (the profiler's top of the whole simulator).
+			"mem.Cache.Lookup", "mem.Cache.Insert", "mem.Cache.Refresh",
+			"mem.Cache.Invalidate", "mem.Cache.Contains",
+			"mem.Hierarchy.Access", "mem.MainMemory.Access",
+			"mem.lruPolicy.Touch", "mem.lruPolicy.Victim",
 			// Contention classifier: per-period profile updates and the
 			// score reads the placement scorer calls per queue decision.
 			"sched.Classifier.Observe", "sched.Classifier.ObserveVerdict",

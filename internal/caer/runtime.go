@@ -298,6 +298,7 @@ func (rt *Runtime) Step() {
 		rt.start()
 	}
 	rt.m.RunPeriod()
+	telemetry.RunnerPeriods.Inc()
 	// Advance the table's period clock before this period's publishes so
 	// StalePeriods counts publisher silence in whole periods.
 	rt.table.BumpPeriod()

@@ -1,0 +1,140 @@
+//go:build linux
+
+package comm
+
+import (
+	"math"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestShmTableConcurrentStress hammers one mapped table from GOMAXPROCS-
+// scaled goroutine packs under the layout's ownership rules: one publisher
+// goroutine per slot (single-writer discipline), one period owner, and a
+// pack of readers scanning every slot. Phases are separated by barriers —
+// the same happens-before the cross-process protocol gets from the period
+// cadence — so -race audits that the discipline itself is sound while the
+// assertions pin the protocol's observable invariants:
+//
+//   - Published(i) is monotonically non-decreasing and ends exactly at the
+//     slot's publish count (no lost or duplicated sequence numbers);
+//   - StalePeriods(i) is 0 right after a slot publishes and grows by
+//     exactly 1 per silent period (stamp monotonicity);
+//   - WindowMean stays finite and within the published value range.
+func TestShmTableConcurrentStress(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	slots := procs
+	if slots < 4 {
+		slots = 4
+	}
+	readers := procs
+	if readers < 4 {
+		readers = 4
+	}
+	const (
+		windowSize = 8
+		rounds     = 200
+		perRound   = 3 // publishes per slot per round
+	)
+
+	path := filepath.Join(t.TempDir(), "stress.tbl")
+	tab, err := CreateShmTable(path, windowSize, slots)
+	if err != nil {
+		t.Fatalf("CreateShmTable: %v", err)
+	}
+	defer tab.Close()
+	for i := 0; i < slots; i++ {
+		tab.SetRole(i, RoleBatch)
+	}
+
+	lastSeq := make([]uint64, slots) // readers' high-water marks, barrier-protected
+	for round := 1; round <= rounds; round++ {
+		// Phase 1: the period owner advances the table clock. Odd slots
+		// stay silent on odd rounds so staleness actually accumulates.
+		tab.BumpPeriod()
+		if p := tab.Period(); p != uint64(round) {
+			t.Fatalf("round %d: Period = %d", round, p)
+		}
+
+		// Phase 2: publishers, one goroutine per slot, disjoint memory.
+		var pubs sync.WaitGroup
+		for i := 0; i < slots; i++ {
+			if i%2 == 1 && round%2 == 1 {
+				continue
+			}
+			pubs.Add(1)
+			go func(slot int) {
+				defer pubs.Done()
+				before := tab.Published(slot)
+				for k := 0; k < perRound; k++ {
+					tab.Publish(slot, float64(slot*1000+k))
+					if got := tab.Published(slot); got != before+uint64(k)+1 {
+						t.Errorf("slot %d: Published = %d after %d publishes on base %d",
+							slot, got, k+1, before)
+						return
+					}
+				}
+				if got := tab.StalePeriods(slot); got != 0 {
+					t.Errorf("slot %d: StalePeriods = %d immediately after publish", slot, got)
+				}
+			}(i)
+		}
+		pubs.Wait()
+
+		// Phase 3: a reader pack scans every slot concurrently (reads on
+		// reads are unsynchronized by design — that is the stress).
+		seen := make([][]uint64, readers)
+		var reads sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			seen[r] = make([]uint64, slots)
+			reads.Add(1)
+			go func(obs []uint64) {
+				defer reads.Done()
+				for i := 0; i < slots; i++ {
+					obs[i] = tab.Published(i)
+					mean := tab.WindowMean(i)
+					if math.IsNaN(mean) || math.IsInf(mean, 0) ||
+						mean < 0 || mean >= float64(slots*1000) {
+						t.Errorf("slot %d: WindowMean = %v out of published range", i, mean)
+					}
+					if n := len(tab.Samples(i)); n > windowSize {
+						t.Errorf("slot %d: %d samples exceed window %d", i, n, windowSize)
+					}
+				}
+			}(seen[r])
+		}
+		reads.Wait()
+
+		for r := 0; r < readers; r++ {
+			for i := 0; i < slots; i++ {
+				if seen[r][i] < lastSeq[i] {
+					t.Fatalf("round %d: reader %d saw slot %d sequence regress %d -> %d",
+						round, r, i, lastSeq[i], seen[r][i])
+				}
+				lastSeq[i] = seen[r][i]
+			}
+		}
+		for i := 0; i < slots; i++ {
+			if i%2 == 1 && round%2 == 1 {
+				if got := tab.StalePeriods(i); got != 1 {
+					t.Fatalf("round %d: silent slot %d StalePeriods = %d, want 1", round, i, got)
+				}
+			}
+		}
+	}
+
+	for i := 0; i < slots; i++ {
+		var want uint64
+		for round := 1; round <= rounds; round++ {
+			if i%2 == 1 && round%2 == 1 {
+				continue
+			}
+			want += perRound
+		}
+		if got := tab.Published(i); got != want {
+			t.Fatalf("slot %d: final Published = %d, want %d", i, got, want)
+		}
+	}
+}

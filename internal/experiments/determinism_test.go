@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSchedRegimeByteIdenticalAcrossWorkers pins the parallel domain
+// stepper's determinism contract at the artifact level: the same Suite
+// seed and configuration must yield a byte-identical BENCH_sched.json
+// whether the machine steps its LLC domains serially (Workers=1) or on a
+// worker pool (Workers=4). check.sh runs this under -race, so the pooled
+// run is also the stepper's standing data-race audit.
+func TestSchedRegimeByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the scheduler regime suite twice; skipped in -short")
+	}
+	const seed = 11
+	serial := SchedRegimeSuiteWorkers(seed, true, 1)
+	pooled := SchedRegimeSuiteWorkers(seed, true, 4)
+
+	var a, b bytes.Buffer
+	if err := serial.WriteJSON(&a); err != nil {
+		t.Fatalf("serial WriteJSON: %v", err)
+	}
+	if err := pooled.WriteJSON(&b); err != nil {
+		t.Fatalf("pooled WriteJSON: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("BENCH_sched.json differs between Workers=1 and Workers=4:\n--- serial ---\n%s\n--- pooled ---\n%s",
+			a.String(), b.String())
+	}
+}

@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"caer/internal/caer"
+	"caer/internal/comm"
+	"caer/internal/machine"
+	"caer/internal/mem"
+	"caer/internal/pmu"
+	"caer/internal/report"
+	"caer/internal/runner"
+	"caer/internal/sched"
+	"caer/internal/spec"
+)
+
+// PerfBench is one micro-benchmark result: the per-operation cost of a
+// single stage of the per-period pipeline.
+type PerfBench struct {
+	// Name identifies the stage: cache_step, hierarchy_access, pmu_probe,
+	// comm_publish, engine_tick, sched_tick, machine_period.
+	Name string
+	// NsPerOp is the measured wall-clock cost per operation.
+	NsPerOp float64
+	// Ops is the number of operations timed.
+	Ops int
+}
+
+// PerfPipeline is an end-to-end period-rate measurement: how many full
+// sampling periods per second one deployment shape sustains.
+type PerfPipeline struct {
+	// Name identifies the shape: caer_runtime (2-core CAER pipeline,
+	// dispatch per period) or machine_batched (multi-domain machine,
+	// RunPeriods batch dispatch).
+	Name string
+	// Domains/Cores/Workers describe the machine.
+	Domains, Cores, Workers int
+	// Batch is the periods-per-dispatch batch size (1 = per-period).
+	Batch int
+	// NsPerPeriod and PeriodsPerSec are the throughput of the period loop.
+	NsPerPeriod   float64
+	PeriodsPerSec float64
+}
+
+// PerfSpeedup is the parallel domain-stepping measurement: the same
+// multi-domain scheduled scenario run serially and on the worker pool,
+// with the results byte-compared (the determinism contract).
+type PerfSpeedup struct {
+	Domains, Cores int
+	Workers        int
+	// SerialMs / ParallelMs are wall-clock for the whole scenario.
+	SerialMs, ParallelMs float64
+	// Speedup is SerialMs/ParallelMs. On a single-CPU host this sits near
+	// (or slightly below) 1.0 — the pool adds a handoff per domain per
+	// period but cannot overlap work; it scales with physical cores.
+	Speedup float64
+	// Identical reports whether the serial and parallel runs produced
+	// byte-identical results. Must always be true.
+	Identical bool
+}
+
+// PerfReport is the caer-bench -perf artifact (BENCH_perf.json): the
+// repo's performance baseline for the per-period simulation core.
+type PerfReport struct {
+	Seed       int64
+	Quick      bool
+	GOMAXPROCS int
+	NumCPU     int
+	Micro      []PerfBench
+	Pipeline   []PerfPipeline
+	Speedup    PerfSpeedup
+}
+
+// perfMinTime is how long each micro-benchmark accumulates samples; quick
+// mode shrinks it for CI smoke runs.
+func perfMinTime(quick bool) time.Duration {
+	if quick {
+		return 20 * time.Millisecond
+	}
+	return 250 * time.Millisecond
+}
+
+// benchNs times op(n) batches until minTime of work accumulates and
+// returns the mean cost per operation.
+func benchNs(minTime time.Duration, op func(n int)) (float64, int) {
+	op(1) // warm up, pull code+data into cache
+	n := 1
+	var total time.Duration
+	ops := 0
+	for total < minTime {
+		t0 := time.Now()
+		op(n)
+		d := time.Since(t0)
+		total += d
+		ops += n
+		if d < minTime/10 && n < 1<<24 {
+			n *= 2
+		}
+	}
+	return float64(total.Nanoseconds()) / float64(ops), ops
+}
+
+// PerfSuite measures the per-period pipeline stage by stage and end to
+// end, then the parallel domain-stepping speedup, and returns the report.
+// workers sizes the pool for the parallel measurements (minimum 2).
+func PerfSuite(seed int64, quick bool, workers int) PerfReport {
+	if workers < 2 {
+		workers = 2
+	}
+	minTime := perfMinTime(quick)
+	rep := PerfReport{
+		Seed:       seed,
+		Quick:      quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	micro := func(name string, op func(n int)) {
+		ns, ops := benchNs(minTime, op)
+		rep.Micro = append(rep.Micro, PerfBench{Name: name, NsPerOp: ns, Ops: ops})
+	}
+
+	// cache_step: one set-associative lookup+insert against a 512x16 cache,
+	// the paper-shaped L3 geometry.
+	{
+		c := mem.NewCache(mem.Config{Name: "perf", Sets: 512, Ways: 16})
+		addrs := perfAddrs(seed, 12288)
+		i := 0
+		micro("cache_step", func(n int) {
+			for k := 0; k < n; k++ {
+				a := addrs[i&4095]
+				i++
+				if !c.Lookup(a, false) {
+					c.Insert(a, 0, false)
+				}
+			}
+		})
+	}
+
+	// hierarchy_access: a full L1->L2->L3->memory access on the default
+	// 2-core hierarchy.
+	{
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig(2))
+		addrs := perfAddrs(seed+1, 12288)
+		i := 0
+		micro("hierarchy_access", func(n int) {
+			for k := 0; k < n; k++ {
+				h.Access(i&1, addrs[i&4095], false, uint64(i))
+				i++
+			}
+		})
+	}
+
+	// pmu_probe: one sampler sweep (read-and-restart of every counter).
+	{
+		m := perfMachine(seed, 1, 2)
+		m.RunPeriod()
+		s := pmu.NewSampler(pmu.New(m, 0), []pmu.Event{
+			pmu.EventLLCMisses, pmu.EventLLCAccesses,
+			pmu.EventInstrRetired, pmu.EventCycles,
+		}, false)
+		micro("pmu_probe", func(n int) {
+			for k := 0; k < n; k++ {
+				s.Probe()
+			}
+		})
+	}
+
+	// comm_publish: one windowed sample publish into a table slot.
+	{
+		t := comm.NewTable(caer.DefaultConfig().WindowSize)
+		slot := t.Register("perf", comm.RoleBatch)
+		i := 0
+		micro("comm_publish", func(n int) {
+			for k := 0; k < n; k++ {
+				slot.Publish(float64(i & 255))
+				i++
+			}
+		})
+	}
+
+	// engine_tick: one full detect/respond tick of a rule-based engine,
+	// including its own publish and the neighbor window read.
+	{
+		cfg := caer.DefaultConfig()
+		t := comm.NewTable(cfg.WindowSize)
+		lat := t.Register("lat", comm.RoleLatency)
+		own := t.Register("batch", comm.RoleBatch)
+		eng := caer.NewEngine(caer.NewRuleDetector(cfg), caer.NewRedLightGreenLight(cfg), own, []*comm.Slot{lat})
+		i := 0
+		micro("engine_tick", func(n int) {
+			for k := 0; k < n; k++ {
+				t.BumpPeriod()
+				lat.Publish(float64((i * 7) & 255))
+				eng.Tick(float64(i & 255))
+				i++
+			}
+		})
+	}
+
+	// sched_tick: one scheduler period on a small 2-domain machine —
+	// machine step, classifier observation, per-domain engine ticks,
+	// admission/aging — the ModeScheduled inner loop.
+	{
+		m := machine.New(machine.Config{
+			Cores: 4, Domains: 2, PeriodCycles: 6000, SlicesPerPeriod: 60,
+		})
+		sd := sched.New(m, sched.Config{AdmitThreshold: 100})
+		mcf := mustProfile("mcf")
+		sd.AddLatency("mcf", 0, mcf.NewProcess(0, seed))
+		lbm := spec.LBM()
+		for j := 0; j < 2; j++ {
+			j := j
+			sd.Submit(sched.Job{Name: "lbm", New: func() *machine.Process {
+				return lbm.Batch().NewProcess(uint64(1<<28)+uint64(j)<<26, seed+1+int64(j))
+			}})
+		}
+		micro("sched_tick", func(n int) {
+			for k := 0; k < n; k++ {
+				sd.Step()
+			}
+		})
+	}
+
+	// machine_period: one full 60k-cycle period of the paper's 2-core
+	// mcf-vs-lbm machine — the figure experiments' unit of work.
+	var periodNs float64
+	{
+		m := perfMachine(seed, 1, 2)
+		ns, ops := benchNs(minTime, func(n int) {
+			for k := 0; k < n; k++ {
+				m.RunPeriod()
+			}
+		})
+		periodNs = ns
+		rep.Micro = append(rep.Micro, PerfBench{Name: "machine_period", NsPerOp: ns, Ops: ops})
+	}
+
+	// Pipeline rates: the full CAER runtime loop (machine + probe +
+	// publish + engine tick + actuation per period), and the multi-domain
+	// machine under batch dispatch at Workers=1 and Workers=workers.
+	{
+		m := perfMachine(seed, 1, 2)
+		rt := caer.NewRuntime(m, caer.HeuristicRule, caer.DefaultConfig())
+		mcf := mustProfile("mcf")
+		rt.AddLatency("mcf", 0, mcf.NewProcess(0, seed))
+		rt.AddBatch("lbm", 1, spec.LBM().Batch().NewProcess(1<<28, seed+1))
+		ns, _ := benchNs(minTime, func(n int) {
+			for k := 0; k < n; k++ {
+				rt.Step()
+			}
+		})
+		rep.Pipeline = append(rep.Pipeline, PerfPipeline{
+			Name: "caer_runtime", Domains: 1, Cores: 2, Workers: 1, Batch: 1,
+			NsPerPeriod: ns, PeriodsPerSec: 1e9 / ns,
+		})
+	}
+	const batch = 32
+	for _, w := range []int{1, workers} {
+		m := perfMachine(seed, 4, 2)
+		m.SetWorkers(w)
+		ns, _ := benchNs(minTime, func(n int) {
+			for k := 0; k < n; k++ {
+				m.RunPeriods(batch)
+			}
+		})
+		m.StopWorkers()
+		rep.Pipeline = append(rep.Pipeline, PerfPipeline{
+			Name: "machine_batched", Domains: 4, Cores: 8, Workers: w, Batch: batch,
+			NsPerPeriod: ns / batch, PeriodsPerSec: 1e9 / (ns / batch),
+		})
+	}
+	_ = periodNs
+
+	rep.Speedup = measureSpeedup(seed, quick, workers)
+	return rep
+}
+
+// perfMachine builds a machine of domains x perDomain cores with an
+// mcf-shaped process on even cores and an lbm adversary on odd cores.
+func perfMachine(seed int64, domains, perDomain int) *machine.Machine {
+	m := machine.New(machine.Config{Cores: domains * perDomain, Domains: domains})
+	mcf := mustProfile("mcf")
+	lbm := spec.LBM()
+	for i := 0; i < m.Cores(); i++ {
+		if i%2 == 0 {
+			m.Bind(i, mcf.Batch().NewProcess(uint64(i)<<26, seed+int64(i)))
+		} else {
+			m.Bind(i, lbm.Batch().NewProcess(uint64(1<<28)+uint64(i)<<26, seed+int64(i)))
+		}
+	}
+	return m
+}
+
+func perfAddrs(seed int64, span int) []uint64 {
+	// Deterministic pseudo-random address stream (xorshift; no global rand).
+	addrs := make([]uint64, 4096)
+	x := uint64(seed)*2654435761 + 1
+	for i := range addrs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		addrs[i] = x % uint64(span)
+	}
+	return addrs
+}
+
+// speedupScenario is the ≥2-domain scheduled scenario the speedup is
+// measured on: a latency service per domain and a queue of aggressor/quiet
+// jobs, so every domain has real per-period engine work.
+func speedupScenario(seed int64, quick bool, workers int) runner.Scenario {
+	scale := uint64(1)
+	if quick {
+		scale = 8
+	}
+	mcf := mustProfile("mcf")
+	mcf.Exec.Instructions /= scale
+	xal := mustProfile("xalancbmk")
+	xal.Exec.Instructions /= scale
+	namd := mustProfile("namd")
+	namd.Exec.Instructions /= scale
+	povray := mustProfile("povray")
+	lbm := mustProfile("lbm")
+	lbm.Exec.Instructions = 400_000 / scale
+	povray.Exec.Instructions = 400_000 / scale
+	return runner.Scenario{
+		Latency:        mcf,
+		ExtraLatencies: []spec.Profile{xal, namd, xal},
+		Mode:           runner.ModeScheduled,
+		Heuristic:      caer.HeuristicRule,
+		Seed:           seed,
+		Domains:        4,
+		Cores:          16,
+		Jobs: []spec.Profile{
+			lbm, povray, lbm, lbm, povray, lbm, povray, lbm,
+		},
+		Sched: sched.Config{
+			Policy:         sched.PolicyContentionAware,
+			AdmitThreshold: 100,
+			AgingBound:     1200,
+		},
+		MaxPeriods: 200_000,
+		Workers:    workers,
+	}
+}
+
+// comparableResult strips the non-deterministic and config-dependent parts
+// of a runner.Result (the Scenario echo carries Workers) down to the
+// fields the determinism contract covers.
+type comparableResult struct {
+	Periods             uint64
+	Completed           bool
+	LatencyInstructions uint64
+	LatencyMisses       uint64
+	BatchInstructions   uint64
+	BatchMisses         uint64
+	BatchDuty           float64
+	ChipUtilization     float64
+	JobsCompleted       int
+	MaxWait             int
+	Migrations          int
+	BatchResults        []runner.BatchResult
+	SchedDecisions      []sched.Decision
+}
+
+// marshalComparable renders the determinism-relevant slice of a result as
+// canonical JSON bytes.
+func marshalComparable(res runner.Result) []byte {
+	b, err := json.Marshal(comparableResult{
+		Periods:             res.Periods,
+		Completed:           res.Completed,
+		LatencyInstructions: res.LatencyInstructions,
+		LatencyMisses:       res.LatencyMisses,
+		BatchInstructions:   res.BatchInstructions,
+		BatchMisses:         res.BatchMisses,
+		BatchDuty:           res.BatchDuty,
+		ChipUtilization:     res.ChipUtilization,
+		JobsCompleted:       res.JobsCompleted,
+		MaxWait:             res.MaxWait,
+		Migrations:          res.Migrations,
+		BatchResults:        res.BatchResults,
+		SchedDecisions:      res.SchedDecisions,
+	})
+	if err != nil {
+		panic("experiments: marshal comparable result: " + err.Error())
+	}
+	return b
+}
+
+func measureSpeedup(seed int64, quick bool, workers int) PerfSpeedup {
+	t0 := time.Now()
+	serial := runner.Run(speedupScenario(seed, quick, 1))
+	serialD := time.Since(t0)
+	t1 := time.Now()
+	parallel := runner.Run(speedupScenario(seed, quick, workers))
+	parallelD := time.Since(t1)
+	return PerfSpeedup{
+		Domains:    4,
+		Cores:      16,
+		Workers:    workers,
+		SerialMs:   float64(serialD.Microseconds()) / 1e3,
+		ParallelMs: float64(parallelD.Microseconds()) / 1e3,
+		Speedup:    float64(serialD) / float64(parallelD),
+		Identical:  bytes.Equal(marshalComparable(serial), marshalComparable(parallel)),
+	}
+}
+
+// Table renders the report's micro and pipeline rows.
+func (r PerfReport) Table() *report.Table {
+	t := report.NewTable("stage", "ns/op", "periods/sec", "shape")
+	for _, m := range r.Micro {
+		t.AddRow(m.Name, fmt.Sprintf("%.1f", m.NsPerOp), "-", "-")
+	}
+	for _, p := range r.Pipeline {
+		t.AddRow(p.Name,
+			fmt.Sprintf("%.1f", p.NsPerPeriod),
+			fmt.Sprintf("%.0f", p.PeriodsPerSec),
+			fmt.Sprintf("%dd x %dc w=%d batch=%d", p.Domains, p.Cores/p.Domains, p.Workers, p.Batch))
+	}
+	return t
+}
+
+// Render writes the perf baseline summary.
+func (r PerfReport) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Perf baseline (DESIGN.md §11): per-period pipeline cost, GOMAXPROCS=%d NumCPU=%d\n",
+		r.GOMAXPROCS, r.NumCPU); err != nil {
+		return err
+	}
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	s := r.Speedup
+	_, err := fmt.Fprintf(w,
+		"domain-parallel speedup: %dd x %dc scheduled scenario, workers=%d: serial %.0f ms, parallel %.0f ms, %.2fx, identical=%v\n",
+		s.Domains, s.Cores/s.Domains, s.Workers, s.SerialMs, s.ParallelMs, s.Speedup, s.Identical)
+	return err
+}
+
+// WriteJSON emits the report as the BENCH_perf.json artifact.
+func (r PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPerfSuiteQuick runs the -perf baseline in quick mode and checks the
+// report's shape: every pipeline stage measured, positive rates, the
+// determinism contract holding on the speedup scenario, and a valid
+// BENCH_perf.json encoding.
+func TestPerfSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf baseline is a timing suite; skipped in -short")
+	}
+	rep := PerfSuite(7, true, 2)
+
+	wantStages := []string{
+		"cache_step", "hierarchy_access", "pmu_probe",
+		"comm_publish", "engine_tick", "sched_tick", "machine_period",
+	}
+	got := map[string]PerfBench{}
+	for _, m := range rep.Micro {
+		got[m.Name] = m
+	}
+	for _, s := range wantStages {
+		m, ok := got[s]
+		if !ok {
+			t.Fatalf("stage %q missing from report (have %v)", s, rep.Micro)
+		}
+		if m.NsPerOp <= 0 || m.Ops <= 0 {
+			t.Fatalf("stage %q has non-positive measurement: %+v", s, m)
+		}
+	}
+	if len(rep.Pipeline) != 3 {
+		t.Fatalf("want 3 pipeline rows (caer_runtime + 2x machine_batched), got %d", len(rep.Pipeline))
+	}
+	for _, p := range rep.Pipeline {
+		if p.PeriodsPerSec <= 0 || p.NsPerPeriod <= 0 {
+			t.Fatalf("pipeline %q has non-positive rate: %+v", p.Name, p)
+		}
+	}
+	if !rep.Speedup.Identical {
+		t.Fatalf("determinism violation: Workers=1 vs Workers=%d scheduled results differ", rep.Speedup.Workers)
+	}
+	if rep.Speedup.Speedup <= 0 {
+		t.Fatalf("speedup must be positive, got %v", rep.Speedup.Speedup)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_perf.json does not round-trip: %v", err)
+	}
+	if len(back.Micro) != len(rep.Micro) {
+		t.Fatalf("round-trip lost micro rows: %d vs %d", len(back.Micro), len(rep.Micro))
+	}
+
+	var render strings.Builder
+	if err := rep.Render(&render); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, s := range wantStages {
+		if !strings.Contains(render.String(), s) {
+			t.Fatalf("rendered table missing stage %q:\n%s", s, render.String())
+		}
+	}
+}

@@ -80,6 +80,15 @@ type schedRegimeConfig struct {
 // admission queue; identical seeds and job sets across policies. quick
 // shrinks instruction counts 4x for a fast smoke run.
 func SchedRegimeSuite(seed int64, quick bool) SchedRegime {
+	return SchedRegimeSuiteWorkers(seed, quick, 1)
+}
+
+// SchedRegimeSuiteWorkers is SchedRegimeSuite with the machine's
+// domain-stepper worker pool sized to workers. Results are bit-identical
+// for every worker count (the machine's determinism contract); workers is
+// deliberately NOT recorded in the SchedRegime artifact so byte-comparing
+// BENCH_sched.json across worker counts pins that contract.
+func SchedRegimeSuiteWorkers(seed int64, quick bool, workers int) SchedRegime {
 	scale := uint64(1)
 	if quick {
 		scale = 4
@@ -126,6 +135,7 @@ func SchedRegimeSuite(seed int64, quick bool) SchedRegime {
 				MigrationPeriod: cfg.migrationPeriod,
 			},
 			MaxPeriods: 200_000,
+			Workers:    workers,
 		}
 	}
 

@@ -22,6 +22,7 @@ package machine
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"caer/internal/mem"
 	"caer/internal/pmu"
@@ -110,6 +111,8 @@ func (p *Process) Relaunch() {
 // the running/idle cycle accounting of the paper's Equation 1.
 type Core struct {
 	id       int
+	hier     *mem.Hierarchy // the owning domain's memory system
+	local    int            // index within hier (id % perDomain), cached off the access path
 	proc     *Process
 	paused   bool
 	freqDiv  int // DVFS extension: 1 = full speed, k = 1/k effective cycles
@@ -184,6 +187,9 @@ type Config struct {
 	// slice cores are simulated sequentially over the same wall-clock
 	// window.
 	SlicesPerPeriod int
+	// Workers sets the domain-stepper worker pool size (see SetWorkers).
+	// Default (0 or 1) steps domains serially — exactly today's order.
+	Workers int
 }
 
 // Machine is the simulated multicore CPU.
@@ -193,8 +199,23 @@ type Machine struct {
 	cores     []*Core
 	period    uint64
 	slices    int
+	sliceLen  uint64 // period / slices, precomputed
+	sliceRem  uint64 // period - sliceLen*slices, paid in the last slice
 	now       uint64 // absolute cycle clock
 	periods   uint64 // completed periods
+
+	// Domain-stepper worker pool (SetWorkers). LLC domains share no memory-
+	// system state, so they may step concurrently; nil tasks = serial path.
+	workers int
+	tasks   chan domainTask
+	poolWG  sync.WaitGroup
+}
+
+// domainTask asks a pool worker to step one domain through a batch of
+// periods.
+type domainTask struct {
+	domain  int
+	periods int
 }
 
 // New constructs a machine. It panics on invalid configuration.
@@ -231,19 +252,23 @@ func New(cfg Config) *Machine {
 	if cfg.SlicesPerPeriod < 1 || cfg.PeriodCycles < uint64(cfg.SlicesPerPeriod) {
 		panic(fmt.Sprintf("machine: invalid period %d / slices %d", cfg.PeriodCycles, cfg.SlicesPerPeriod))
 	}
+	sliceLen := cfg.PeriodCycles / uint64(cfg.SlicesPerPeriod)
 	m := &Machine{
 		hiers:     make([]*mem.Hierarchy, cfg.Domains),
 		perDomain: perDomain,
 		cores:     make([]*Core, total),
 		period:    cfg.PeriodCycles,
 		slices:    cfg.SlicesPerPeriod,
+		sliceLen:  sliceLen,
+		sliceRem:  cfg.PeriodCycles - sliceLen*uint64(cfg.SlicesPerPeriod),
 	}
 	for d := range m.hiers {
 		m.hiers[d] = mem.NewHierarchy(h)
 	}
 	for i := range m.cores {
-		m.cores[i] = &Core{id: i, freqDiv: 1}
+		m.cores[i] = &Core{id: i, freqDiv: 1, hier: m.hiers[i/perDomain], local: i % perDomain}
 	}
+	m.SetWorkers(cfg.Workers)
 	return m
 }
 
@@ -299,29 +324,140 @@ func (m *Machine) Bind(i int, proc *Process) {
 // Unbind removes the process from core i.
 func (m *Machine) Unbind(i int) { m.cores[i].proc = nil }
 
+// SetWorkers resizes the domain-stepper worker pool. With workers > 1 and
+// more than one LLC domain, RunPeriod/RunPeriods fan the domains out over
+// min(workers, domains) persistent goroutines; since domains share no
+// memory-system state and stepDomain reproduces the serial core rotation
+// within each domain (see stepDomain), the machine state after every period
+// is bit-identical to the serial order. workers <= 1 (the default) stops
+// the pool and restores today's exact serial stepping. Not safe to call
+// concurrently with RunPeriods.
+func (m *Machine) SetWorkers(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == m.workers && (workers <= 1 || m.tasks != nil) {
+		return
+	}
+	m.StopWorkers()
+	m.workers = workers
+	if workers <= 1 || len(m.hiers) < 2 {
+		return
+	}
+	n := workers
+	if n > len(m.hiers) {
+		n = len(m.hiers)
+	}
+	m.tasks = make(chan domainTask)
+	for i := 0; i < n; i++ {
+		go m.domainWorker(m.tasks)
+	}
+}
+
+// Workers returns the configured worker count (1 = serial).
+func (m *Machine) Workers() int {
+	if m.workers < 1 {
+		return 1
+	}
+	return m.workers
+}
+
+// StopWorkers shuts the worker pool down (idempotent). Callers that enable
+// Workers > 1 must stop the pool when done with the machine, or its
+// goroutines stay parked for the life of the process.
+func (m *Machine) StopWorkers() {
+	if m.tasks != nil {
+		close(m.tasks)
+		m.tasks = nil
+	}
+	m.workers = 1
+}
+
+func (m *Machine) domainWorker(tasks <-chan domainTask) {
+	for t := range tasks {
+		m.stepDomain(t.domain, t.periods)
+		m.poolWG.Done()
+	}
+}
+
+// dispatch fans one batch of periods out to the pool, one task per domain,
+// and waits for the barrier. Kept out of the hot-path inventory: the
+// channel handoff is the price of parallelism and is paid once per batch,
+// not per access.
+func (m *Machine) dispatch(n int) {
+	m.poolWG.Add(len(m.hiers))
+	for d := range m.hiers {
+		m.tasks <- domainTask{domain: d, periods: n}
+	}
+	m.poolWG.Wait()
+}
+
 // RunPeriod advances every core by one sampling period, interleaving active
 // cores in SlicesPerPeriod time slices. Paused cores and cores whose
 // process has completed accumulate idle cycles.
-func (m *Machine) RunPeriod() {
-	sliceLen := m.period / uint64(m.slices)
-	rem := m.period - sliceLen*uint64(m.slices)
-	start := m.now
-	for s := 0; s < m.slices; s++ {
-		budget := sliceLen
-		if s == m.slices-1 {
-			budget += rem
-		}
-		sliceStart := start + uint64(s)*sliceLen
-		// Rotate the core order every slice: cores earlier in the order see
-		// the memory channel first within a slice, so a fixed order would
-		// systematically starve higher-numbered cores of bandwidth.
-		offset := (int(m.periods)*m.slices + s) % len(m.cores)
-		for i := range m.cores {
-			m.runSlice(m.cores[(i+offset)%len(m.cores)], sliceStart, budget)
+func (m *Machine) RunPeriod() { m.RunPeriods(1) }
+
+// RunPeriods advances the machine n periods in one dispatch. Callers with
+// no per-period logic (baseline drains, microbenchmarks) batch here so the
+// pool pays one goroutine handoff per domain per batch instead of per
+// period; per-period callers (the CAER runtime, the scheduler) use
+// RunPeriod and still get the domain fan-out. The resulting machine state
+// is identical to calling RunPeriod n times.
+func (m *Machine) RunPeriods(n int) {
+	if n <= 0 {
+		return
+	}
+	if m.tasks != nil {
+		m.dispatch(n)
+	} else {
+		for d := range m.hiers {
+			m.stepDomain(d, n)
 		}
 	}
-	m.now = start + m.period
-	m.periods++
+	m.now += uint64(n) * m.period
+	m.periods += uint64(n)
+}
+
+// stepDomain advances domain d through n periods. Only state owned by the
+// domain — its hierarchy and its cores — is touched, so distinct domains
+// may run concurrently.
+//
+// Core order: the serial machine rotates the global core order every slice
+// (offset below) so that cores earlier in the order, which see the memory
+// channel first within a slice, don't systematically starve later ones.
+// A global rotation restricted to a contiguous domain block [lo, hi) is
+// itself a rotation of that block — the block's cores appear in the order
+// offset..hi-1, lo..offset-1 when offset lands inside the block and
+// lo..hi-1 otherwise — so stepping per-domain preserves each domain's
+// serial intra-slice order exactly, and with it every per-seed result.
+func (m *Machine) stepDomain(d, n int) {
+	lo := d * m.perDomain
+	hi := lo + m.perDomain
+	span := m.perDomain
+	total := len(m.cores)
+	for k := 0; k < n; k++ {
+		rotBase := int(m.periods+uint64(k)) * m.slices
+		start := m.now + uint64(k)*m.period
+		for s := 0; s < m.slices; s++ {
+			budget := m.sliceLen
+			if s == m.slices-1 {
+				budget += m.sliceRem
+			}
+			sliceStart := start + uint64(s)*m.sliceLen
+			offset := (rotBase + s) % total
+			first := lo
+			if offset > lo && offset < hi {
+				first = offset
+			}
+			for i := 0; i < span; i++ {
+				c := first + i
+				if c >= hi {
+					c -= span
+				}
+				m.runSlice(m.cores[c], sliceStart, budget)
+			}
+		}
+	}
 }
 
 // runSlice executes core c for budget cycles starting at absolute cycle
@@ -356,7 +492,7 @@ func (m *Machine) runSlice(c *Core, at, budget uint64) {
 		if p.memAcc >= 1 {
 			p.memAcc -= 1
 			a := p.gen.Next(p.rng)
-			res := m.hiers[c.id/m.perDomain].Access(c.id%m.perDomain, a.Addr, a.Write, at+used)
+			res := c.hier.Access(c.local, a.Addr, a.Write, at+used)
 			cost = res.Latency
 		} else {
 			p.cpiAcc += p.prof.BaseCPI

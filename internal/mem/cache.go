@@ -40,7 +40,8 @@ type Cache struct {
 	sets     int
 	ways     int
 	setMask  uint64
-	lines    []line // sets*ways, row-major by set
+	lines    []line  // sets*ways, row-major by set
+	valid    []int32 // per-set valid-line count; lets Insert skip the free-way scan on full sets
 	policy   Policy
 	stats    CacheStats
 	partLo   []int // per-owner victim range; nil when unpartitioned
@@ -75,6 +76,7 @@ func NewCache(cfg Config) *Cache {
 		ways:    cfg.Ways,
 		setMask: uint64(cfg.Sets - 1),
 		lines:   make([]line, cfg.Sets*cfg.Ways),
+		valid:   make([]int32, cfg.Sets),
 		policy:  p,
 	}
 }
@@ -106,8 +108,10 @@ func (c *Cache) lineAt(set, way int) *line { return &c.lines[set*c.ways+way] }
 func (c *Cache) Lookup(addr uint64, write bool) bool {
 	c.stats.Accesses++
 	set := c.setOf(addr)
-	for w := 0; w < c.ways; w++ {
-		ln := c.lineAt(set, w)
+	base := set * c.ways
+	row := c.lines[base : base+c.ways]
+	for w := range row {
+		ln := &row[w]
 		if ln.valid && ln.tag == addr {
 			c.stats.Hits++
 			if write {
@@ -129,9 +133,10 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 // co-runner — the classic inclusion-victim pathology.
 func (c *Cache) Refresh(addr uint64) bool {
 	set := c.setOf(addr)
-	for w := 0; w < c.ways; w++ {
-		ln := c.lineAt(set, w)
-		if ln.valid && ln.tag == addr {
+	base := set * c.ways
+	row := c.lines[base : base+c.ways]
+	for w := range row {
+		if row[w].valid && row[w].tag == addr {
 			c.policy.Touch(set, w)
 			return true
 		}
@@ -142,9 +147,10 @@ func (c *Cache) Refresh(addr uint64) bool {
 // Contains probes for addr without touching stats or replacement state.
 func (c *Cache) Contains(addr uint64) bool {
 	set := c.setOf(addr)
-	for w := 0; w < c.ways; w++ {
-		ln := c.lineAt(set, w)
-		if ln.valid && ln.tag == addr {
+	base := set * c.ways
+	row := c.lines[base : base+c.ways]
+	for w := range row {
+		if row[w].valid && row[w].tag == addr {
 			return true
 		}
 	}
@@ -165,14 +171,22 @@ type Evicted struct {
 // counters; callers pair it with a missed Lookup.
 func (c *Cache) Insert(addr uint64, owner int, write bool) Evicted {
 	set := c.setOf(addr)
-	// Prefer an invalid way within the owner's victim range.
 	lo, hi := c.victimRange(owner)
-	for w := lo; w < hi; w++ {
-		ln := c.lineAt(set, w)
-		if !ln.valid {
-			*ln = line{tag: addr, owner: int8(owner), valid: true, dirty: write}
-			c.policy.Touch(set, w)
-			return Evicted{}
+	// Prefer an invalid way within the owner's victim range. The per-set
+	// valid count skips the scan entirely once the set is full — the steady
+	// state for every warm cache (with partitioning the count covers the
+	// whole set, so a full count still implies a full victim range).
+	if int(c.valid[set]) < c.ways {
+		base := set * c.ways
+		row := c.lines[base+lo : base+hi]
+		for i := range row {
+			ln := &row[i]
+			if !ln.valid {
+				*ln = line{tag: addr, owner: int8(owner), valid: true, dirty: write}
+				c.valid[set]++
+				c.policy.Touch(set, lo+i)
+				return Evicted{}
+			}
 		}
 	}
 	w := c.policy.Victim(set, lo, hi)
@@ -194,12 +208,18 @@ func (c *Cache) Insert(addr uint64, owner int, write bool) Evicted {
 // whether it was dirty. Used for inclusive back-invalidation.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set := c.setOf(addr)
-	for w := 0; w < c.ways; w++ {
-		ln := c.lineAt(set, w)
+	if c.valid[set] == 0 {
+		return false, false
+	}
+	base := set * c.ways
+	row := c.lines[base : base+c.ways]
+	for w := range row {
+		ln := &row[w]
 		if ln.valid && ln.tag == addr {
 			c.stats.Invalidations++
 			present, dirty = true, ln.dirty
 			*ln = line{}
+			c.valid[set]--
 			return present, dirty
 		}
 	}
@@ -212,6 +232,9 @@ func (c *Cache) Flush() {
 	for i := range c.lines {
 		c.lines[i] = line{}
 	}
+	for i := range c.valid {
+		c.valid[i] = 0
+	}
 }
 
 // FlushOwner invalidates every line belonging to owner. Used when a batch
@@ -220,6 +243,7 @@ func (c *Cache) FlushOwner(owner int) {
 	for i := range c.lines {
 		if c.lines[i].valid && int(c.lines[i].owner) == owner {
 			c.lines[i] = line{}
+			c.valid[i/c.ways]--
 		}
 	}
 }

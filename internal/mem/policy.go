@@ -28,35 +28,36 @@ type Policy interface {
 	Name() string
 }
 
-// lruPolicy implements true LRU with per-line timestamps.
+// lruPolicy implements true LRU with per-line timestamps. Stamps live in one
+// flat row-major array: the victim scan is the hottest loop in the whole
+// simulator (every LLC miss on a full set runs it), and a flat slice keeps it
+// a single bounds-checked stride instead of a pointer chase per way.
 type lruPolicy struct {
-	stamp [][]uint64
+	stamp []uint64 // sets*ways, row-major by set
+	ways  int
 	tick  uint64
 }
 
 // NewLRU returns a least-recently-used replacement policy for a cache with
 // the given geometry.
 func NewLRU(sets, ways int) Policy {
-	p := &lruPolicy{stamp: make([][]uint64, sets)}
-	for i := range p.stamp {
-		p.stamp[i] = make([]uint64, ways)
-	}
-	return p
+	return &lruPolicy{stamp: make([]uint64, sets*ways), ways: ways}
 }
 
 func (p *lruPolicy) Name() string { return "lru" }
 
 func (p *lruPolicy) Touch(set, way int) {
 	p.tick++
-	p.stamp[set][way] = p.tick
+	p.stamp[set*p.ways+way] = p.tick
 }
 
 func (p *lruPolicy) Victim(set, loWay, hiWay int) int {
+	row := p.stamp[set*p.ways : set*p.ways+p.ways]
 	victim := loWay
-	best := p.stamp[set][loWay]
+	best := row[loWay]
 	for w := loWay + 1; w < hiWay; w++ {
-		if p.stamp[set][w] < best {
-			best = p.stamp[set][w]
+		if row[w] < best {
+			best = row[w]
 			victim = w
 		}
 	}

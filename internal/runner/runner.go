@@ -82,6 +82,12 @@ type Scenario struct {
 	Cores int
 	// MaxPeriods bounds the run as a safety valve; zero means 10,000,000.
 	MaxPeriods int
+	// Workers sizes the machine's domain-stepper worker pool: with more
+	// than one LLC domain and Workers > 1, independent domains step on
+	// parallel host cores with bit-identical per-seed results (the machine's
+	// determinism contract, pinned by the experiments determinism test).
+	// 0 or 1 = serial stepping.
+	Workers int
 	// Actuator optionally replaces the pause actuator (DVFS extension).
 	Actuator caer.Actuator
 	// PartitionWays statically way-partitions the shared L3: the latency
@@ -258,7 +264,7 @@ func Run(s Scenario) Result {
 }
 
 func newMachine(s Scenario) *machine.Machine {
-	m := machine.New(machine.Config{Cores: s.Cores})
+	m := machine.New(machine.Config{Cores: s.Cores, Workers: s.Workers})
 	if s.PartitionWays > 0 {
 		l3 := m.Hierarchy().L3()
 		if s.PartitionWays >= l3.Ways() {
@@ -279,6 +285,7 @@ func runAlone(s Scenario) Result {
 	res := Result{Scenario: s}
 	for p := 0; p < s.MaxPeriods && !lat.Done(); p++ {
 		m.RunPeriod()
+		telemetry.RunnerPeriods.Inc()
 	}
 	res.Completed = lat.Done()
 	res.Periods = m.Periods()
@@ -335,6 +342,7 @@ func runNative(s Scenario) Result {
 	relaunches := make([]int, len(batches))
 	for p := 0; p < s.MaxPeriods && !lat.Done(); p++ {
 		m.RunPeriod()
+		telemetry.RunnerPeriods.Inc()
 		for i, b := range batches {
 			if b.Done() {
 				m.FlushCore(cores[i])
@@ -424,7 +432,8 @@ func runScheduled(s Scenario) Result {
 	if s.PartitionWays > 0 {
 		panic("runner: PartitionWays is not supported in scheduled mode")
 	}
-	m := machine.New(machine.Config{Cores: s.Cores, Domains: s.Domains})
+	m := machine.New(machine.Config{Cores: s.Cores, Domains: s.Domains, Workers: s.Workers})
+	defer m.StopWorkers()
 	cfg := s.Sched
 	cfg.Heuristic = s.Heuristic
 	cfg.Caer = s.Config

@@ -354,6 +354,7 @@ func (s *Scheduler) Step() {
 		s.start()
 	}
 	s.m.RunPeriod()
+	telemetry.RunnerPeriods.Inc()
 	s.period++
 	s.table.BumpPeriod()
 	s.observePeriod()

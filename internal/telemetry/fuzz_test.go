@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText fuzzes the Prometheus text reader caer-top and the CI
+// telemetry smoke depend on. Seeds cover the writer's own output (the
+// golden corpus: whatever WriteSnapshot emits must stay parseable) plus
+// labeled, escaped, and malformed shapes.
+//
+// Invariants: ParseText never panics, and any accepted input re-renders
+// through renderTextMetric into an equivalent parse (writer/parser
+// round-trip, generalized to arbitrary accepted inputs).
+func FuzzParseText(f *testing.F) {
+	// Live snapshot of the default registry — the real exposition format.
+	PMUReads.Inc()
+	var snap bytes.Buffer
+	if err := WriteSnapshot(&snap); err != nil {
+		f.Fatalf("snapshot seed: %v", err)
+	}
+	f.Add(snap.Bytes())
+	f.Add([]byte("caer_pmu_reads_total 42\n"))
+	f.Add([]byte(`caer_runner_runs_total{mode="caer"} 3` + "\n"))
+	f.Add([]byte(`m{k="a\"b\\c",k2="v2"} 1.5e-9` + "\n# HELP m help\n# TYPE m counter\n"))
+	f.Add([]byte("name_only\n"))
+	f.Add([]byte(`unterminated{k="v 1`))
+	f.Add([]byte("nan_val NaN\ninf_val +Inf\n"))
+	f.Add([]byte("\n\n  # only comments\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		metrics, err := ParseText(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only the no-panic invariant applies
+		}
+		// Round-trip: re-render every accepted sample and parse it back.
+		var buf bytes.Buffer
+		for _, m := range metrics {
+			renderTextMetric(&buf, m)
+		}
+		back, err := ParseText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-render of accepted input failed to parse: %v\nrendered:\n%s", err, buf.String())
+		}
+		if len(back) != len(metrics) {
+			t.Fatalf("round-trip changed sample count: %d -> %d\nrendered:\n%s", len(metrics), len(back), buf.String())
+		}
+		for i := range metrics {
+			if !textMetricEqual(metrics[i], back[i]) {
+				t.Fatalf("round-trip changed sample %d: %+v -> %+v", i, metrics[i], back[i])
+			}
+		}
+	})
+}
+
+// renderTextMetric writes one sample the way WritePrometheus does:
+// name{k="v",...} value, labels sorted for determinism.
+func renderTextMetric(buf *bytes.Buffer, m TextMetric) {
+	buf.WriteString(m.Name)
+	if m.Labels != nil {
+		keys := make([]string, 0, len(m.Labels))
+		for k := range m.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(buf, "%s=%s", k, strconv.Quote(m.Labels[k]))
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteByte(' ')
+	buf.WriteString(strconv.FormatFloat(m.Value, 'g', -1, 64))
+	buf.WriteByte('\n')
+}
+
+func textMetricEqual(a, b TextMetric) bool {
+	if strings.TrimSpace(a.Name) != strings.TrimSpace(b.Name) {
+		return false
+	}
+	if !(a.Value == b.Value || (math.IsNaN(a.Value) && math.IsNaN(b.Value))) {
+		return false
+	}
+	la, lb := a.Labels, b.Labels
+	if la == nil {
+		la = map[string]string{}
+	}
+	if lb == nil {
+		lb = map[string]string{}
+	}
+	return reflect.DeepEqual(la, lb)
+}

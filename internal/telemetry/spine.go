@@ -68,6 +68,7 @@ var (
 	RunnerRunsCAER      = defaultRegistry.Counter("caer_runner_runs_total", "scenario runs by mode", "mode", "caer")
 	RunnerRunsScheduled = defaultRegistry.Counter("caer_runner_runs_total", "scenario runs by mode", "mode", "scheduled")
 	RunnerRelaunches    = defaultRegistry.Counter("caer_runner_relaunches_total", "batch application relaunches after completion")
+	RunnerPeriods       = defaultRegistry.Counter("caer_runner_periods_total", "sampling periods executed across all runs (rate = simulated periods/sec)")
 
 	// telemetry self-accounting: synced from internal atomics by
 	// WriteSnapshot so the layer reports its own cost.
