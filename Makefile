@@ -9,10 +9,15 @@ test:
 check:
 	./check.sh
 
-# Run only the repo-specific analyzers.
+# Run only the repo-specific analyzers (suppression hygiene on, as in CI).
 .PHONY: vet
 vet:
-	go run ./cmd/caer-vet ./...
+	go run ./cmd/caer-vet -unused-suppressions ./...
+
+# Machine-readable findings (the caer-vet -json contract; CI uploads this).
+.PHONY: vet-json
+vet-json:
+	go run ./cmd/caer-vet -unused-suppressions -json ./...
 
 .PHONY: bench
 bench:

@@ -6,7 +6,15 @@ set -eux
 
 go build ./...
 go vet ./...
-go run ./cmd/caer-vet ./...
+# caer-vet with suppression hygiene on (stale //caer:allow comments are
+# findings in CI) and a wall-clock budget: the analysis suite must stay
+# cheap enough to run on every push (CAER_VET_BUDGET seconds, default 120).
+vet_start=$(date +%s)
+go run ./cmd/caer-vet -unused-suppressions ./...
+vet_elapsed=$(( $(date +%s) - vet_start ))
+echo "caer-vet runtime: ${vet_elapsed}s (budget ${CAER_VET_BUDGET:-120}s)"
+[ "$vet_elapsed" -le "${CAER_VET_BUDGET:-120}" ] || {
+    echo "caer-vet budget: ${vet_elapsed}s exceeds CAER_VET_BUDGET=${CAER_VET_BUDGET:-120}s" >&2; exit 1; }
 go test -race -coverprofile=coverage.out ./...
 # Coverage ratchet: total statement coverage must not fall below
 # CAER_COVERAGE_MIN (default 80, one point under the measured baseline —

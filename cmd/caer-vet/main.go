@@ -10,13 +10,18 @@
 //
 // Usage:
 //
-//	caer-vet [-C dir] [-list] [pattern ...]
+//	caer-vet [-C dir] [-list] [-json] [-analyzer list] [-unused-suppressions] [pattern ...]
 //
 // Patterns are package directories or "dir/..." wildcards, resolved
-// against the enclosing module; the default is "./...". Findings can be
-// waived in source with a documented suppression comment:
+// against the enclosing module; the default is "./...". -analyzer runs a
+// comma-separated subset of the suite; -json emits the findings as one
+// machine-readable document on stdout instead of compiler-style lines;
+// -unused-suppressions additionally reports //caer:allow comments that
+// waived nothing (CI turns this on so dead waivers cannot accumulate).
+// Findings can be waived in source with a documented suppression comment,
+// whose reason is mandatory:
 //
-//	//caer:allow <analyzer>[,<analyzer>...] [reason]
+//	//caer:allow <analyzer>[,<analyzer>...] <reason>
 package main
 
 import (
@@ -37,6 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	chdir := fs.String("C", "", "run as if started in `dir`")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON document on stdout")
+	subset := fs.String("analyzer", "", "comma-separated `names` of analyzers to run (default: all)")
+	unused := fs.Bool("unused-suppressions", false, "report //caer:allow comments that waived nothing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,13 +80,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings, err := analysis.Vet(modRoot, modPath, dirs, analysis.Analyzers(), analysis.DefaultConfig())
+	analyzers := analysis.Analyzers()
+	if *subset != "" {
+		analyzers, err = analysis.SelectAnalyzers(*subset)
+		if err != nil {
+			fmt.Fprintln(stderr, "caer-vet:", err)
+			return 2
+		}
+	}
+	cfg := analysis.DefaultConfig()
+	cfg.ReportUnusedSuppressions = *unused
+
+	findings, err := analysis.Vet(modRoot, modPath, dirs, analyzers, cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "caer-vet:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f.String())
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "caer-vet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "caer-vet: %d finding(s)\n", len(findings))

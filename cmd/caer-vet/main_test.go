@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -48,6 +49,87 @@ func TestDriverList(t *testing.T) {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s", name)
 		}
+	}
+}
+
+// TestDriverJSON checks the machine-readable output: well-formed JSON,
+// every analyzer represented, exit code still 1 on findings.
+func TestDriverJSON(t *testing.T) {
+	td := filepath.Join("..", "..", "internal", "analysis", "testdata", "src")
+	var out, errOut strings.Builder
+	code := run([]string{"-C", td, "-json", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("-json exit = %d over seeded violations, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var rep struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			File     string   `json:"file"`
+			Line     int      `json:"line"`
+			Analyzer string   `json:"analyzer"`
+			Message  string   `json:"message"`
+			Path     []string `json:"path"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Count != len(rep.Findings) || rep.Count == 0 {
+		t.Fatalf("count = %d with %d findings", rep.Count, len(rep.Findings))
+	}
+	seen := make(map[string]bool)
+	pathed := false
+	for _, f := range rep.Findings {
+		seen[f.Analyzer] = true
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if len(f.Path) > 1 {
+			pathed = true
+		}
+	}
+	for _, name := range analysis.AnalyzerNames() {
+		if !seen[name] {
+			t.Errorf("-json output missing findings from %s", name)
+		}
+	}
+	if !pathed {
+		t.Errorf("no finding carried a multi-hop call path")
+	}
+}
+
+// TestDriverAnalyzerSubset checks -analyzer runs only the named checks.
+func TestDriverAnalyzerSubset(t *testing.T) {
+	td := filepath.Join("..", "..", "internal", "analysis", "testdata", "src")
+	var out, errOut strings.Builder
+	code := run([]string{"-C", td, "-analyzer", "enumswitch", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("-analyzer enumswitch exit = %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.Contains(line, "[enumswitch]") {
+			t.Errorf("subset run leaked a non-enumswitch finding: %s", line)
+		}
+	}
+	if code := run([]string{"-analyzer", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+}
+
+// TestDriverUnusedSuppressions checks the hygiene flag is off by default
+// and reported when enabled.
+func TestDriverUnusedSuppressions(t *testing.T) {
+	td := filepath.Join("..", "..", "internal", "analysis", "testdata", "src")
+	var out, errOut strings.Builder
+	run([]string{"-C", td, "./hygiene"}, &out, &errOut)
+	if strings.Contains(out.String(), "unused suppression") {
+		t.Errorf("unused suppression reported without the flag:\n%s", out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	run([]string{"-C", td, "-unused-suppressions", "./hygiene"}, &out, &errOut)
+	if !strings.Contains(out.String(), "unused suppression") {
+		t.Errorf("-unused-suppressions reported nothing over the hygiene fixture:\n%s", out.String())
 	}
 }
 

@@ -9,23 +9,40 @@
 //     8-byte aligned so 32-bit platforms do not tear.
 //   - hotpath: the 1 ms sampling/detection loop must stay allocation- and
 //     syscall-light, or the runtime's own overhead drowns the contention
-//     signal it measures (the paper's §6 headline is <1% overhead).
+//     signal it measures (the paper's §6 headline is <1% overhead). Since
+//     v2 the ban propagates transitively through the static call graph
+//     from the inventoried roots, and findings carry the offending call
+//     path.
 //   - enumswitch: switches over reaction enums (comm.Directive and friends)
 //     must be exhaustive — a default: that silently runs the batch
 //     application is a contention-response bug.
 //   - lockdiscipline: every Lock() needs a same-function Unlock, and errors
 //     returned by this module's table/IO writes must not be silently
 //     discarded.
+//   - determinism: the simulation core and result-assembly paths must stay
+//     bit-reproducible — no wall-clock reads, no process-global math/rand,
+//     no map iteration feeding ordered output or order-sensitive
+//     accumulators, no unordered goroutine result collection.
+//   - goroutinelifecycle: every go statement needs a provable shutdown
+//     edge (close of the channel it ranges over, a done-select that
+//     returns, or sync.WaitGroup pairing).
+//   - telemetrydiscipline: metric registration stays out of hot-path-
+//     reachable code, and every registered family name must match the
+//     spine inventory (DESIGN.md §10).
+//   - suppression: //caer:allow comments must carry a reason, and (when
+//     enabled) must actually suppress something.
 //
 // The suite is built entirely on the standard library (go/parser, go/ast,
 // go/types); it deliberately takes no dependency on golang.org/x/tools so
 // the repo stays self-contained. Findings can be suppressed with a
 // documented comment:
 //
-//	//caer:allow <analyzer>[,<analyzer>...] [reason]
+//	//caer:allow <analyzer>[,<analyzer>...] <reason>
 //
 // which applies to the line it is written on and to the line directly
 // below it (so it can trail the offending expression or sit above it).
+// The reason is mandatory; stale suppressions are themselves findings
+// under Config.ReportUnusedSuppressions.
 package analysis
 
 import (
@@ -37,16 +54,24 @@ import (
 	"strings"
 )
 
-// Finding is one analyzer diagnostic, positioned in the source tree.
+// Finding is one analyzer diagnostic, positioned in the source tree. Path,
+// when non-empty, is the call chain from an inventoried hot-path root to
+// the function containing the finding (hotpath v2, telemetrydiscipline).
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Path     []string
 }
 
-// String renders the finding the way compilers do: file:line:col: message.
+// String renders the finding the way compilers do: file:line:col: message,
+// with the call path appended when present.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	if len(f.Path) > 0 {
+		s += " [path: " + strings.Join(f.Path, " -> ") + "]"
+	}
+	return s
 }
 
 // Analyzer is one named invariant checker. Run inspects the package held by
@@ -57,7 +82,8 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package through one analyzer, together
+// with the module-wide context the dataflow analyzers need.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -65,6 +91,14 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Cfg      *Config
+
+	// Graph is the static call graph over every package of the run (one
+	// package in unit tests, the whole module under Vet).
+	Graph *CallGraph
+	// Hot maps every hot-path function (inventoried roots plus their
+	// transitive static closure, minus cold barriers) to its label path
+	// from a root. See CallGraph.HotSet.
+	Hot map[*types.Func][]string
 
 	findings *[]Finding
 }
@@ -78,9 +112,43 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportPathf records a finding carrying the hot-path call chain that
+// makes the position hot.
+func (p *Pass) ReportPathf(pos token.Pos, path []string, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
+	})
+}
+
+// HotPathOf returns the root-to-fn call chain if fn is in the hot-path
+// closure (nil otherwise). Roots map to a single-element path.
+func (p *Pass) HotPathOf(fn *types.Func) []string {
+	if p.Hot == nil {
+		return nil
+	}
+	return p.Hot[fn]
+}
+
+// Suppression is the pseudo-analyzer that owns suppression-hygiene
+// findings (missing reasons, stale allows). Its Run is a no-op: the
+// driver emits its findings while filtering, where usage is known.
+var Suppression = &Analyzer{
+	Name: "suppression",
+	Doc: "require //caer:allow comments to carry a reason, and report allows " +
+		"that no longer suppress anything (stale suppressions accumulate risk)",
+	Run: func(*Pass) {},
+}
+
 // Analyzers returns the full caer-vet suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ShmAccess, HotPath, EnumSwitch, LockDiscipline}
+	return []*Analyzer{
+		ShmAccess, HotPath, EnumSwitch, LockDiscipline,
+		Determinism, GoroutineLifecycle, TelemetryDiscipline,
+		Suppression,
+	}
 }
 
 // AnalyzerNames returns the suite's analyzer names in stable order.
@@ -92,23 +160,84 @@ func AnalyzerNames() []string {
 	return names
 }
 
-// RunAnalyzers applies the given analyzers to one loaded package and
-// returns the findings that survive //caer:allow suppression filtering.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer, cfg *Config) []Finding {
-	var findings []Finding
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			Cfg:      cfg,
-			findings: &findings,
-		}
-		a.Run(pass)
+// SelectAnalyzers resolves a comma-separated analyzer-name list against
+// the suite. An empty selection returns the full suite.
+func SelectAnalyzers(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return Analyzers(), nil
 	}
-	findings = filterSuppressed(pkg, findings)
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q (have %s)",
+				name, strings.Join(AnalyzerNames(), ", "))
+		}
+		seen[name] = true
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies the given analyzers to one loaded package and
+// returns the findings that survive //caer:allow suppression filtering,
+// plus any suppression-hygiene findings. The call graph is built over the
+// single package; use VetPackages for whole-module (cross-package)
+// propagation.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, cfg *Config) []Finding {
+	return VetPackages([]*Package{pkg}, analyzers, cfg)
+}
+
+// VetPackages builds the static call graph over all packages, then runs
+// every analyzer over every package with the shared graph and hot-path
+// closure, applies suppression filtering, and returns the surviving
+// findings sorted by position.
+func VetPackages(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
+	graph := BuildCallGraph(pkgs)
+	hot := graph.HotSet(cfg)
+
+	active := make(map[string]bool)
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+
+	var all []Finding
+	for _, pkg := range pkgs {
+		var findings []Finding
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Cfg:      cfg,
+				Graph:    graph,
+				Hot:      hot,
+				findings: &findings,
+			})
+		}
+		sup := collectSuppressions(pkg)
+		findings = filterSuppressed(sup, findings)
+		if active[Suppression.Name] {
+			findings = append(findings, suppressionFindings(sup, cfg, active)...)
+		}
+		all = append(all, findings...)
+	}
+	sortFindings(all)
+	return all
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -122,20 +251,31 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, cfg *Config) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
 }
 
-// suppressionKey identifies one file line an allow comment covers.
-type suppressionKey struct {
-	file string
-	line int
+// suppression is one //caer:allow comment: the analyzers it names, its
+// mandatory reason, the lines it covers, and whether it matched anything.
+type suppression struct {
+	pos       token.Position // the comment's own position
+	analyzers map[string]bool
+	reason    string
+	used      bool
 }
 
-// collectSuppressions parses //caer:allow comments across the package. The
-// returned map holds, per covered (file, line), the set of analyzer names
-// allowed there. The wildcard name "all" suppresses every analyzer.
-func collectSuppressions(pkg *Package) map[suppressionKey]map[string]bool {
-	sup := make(map[suppressionKey]map[string]bool)
+// covers reports whether the comment's scope includes (file, line): its
+// own line and the line directly below.
+func (s *suppression) covers(file string, line int) bool {
+	return s.pos.Filename == file && (line == s.pos.Line || line == s.pos.Line+1)
+}
+
+// allows reports whether the comment waives findings from the analyzer.
+func (s *suppression) allows(analyzer string) bool {
+	return s.analyzers[analyzer] || s.analyzers["all"]
+}
+
+// collectSuppressions parses //caer:allow comments across the package.
+func collectSuppressions(pkg *Package) []*suppression {
+	var sups []*suppression
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -144,56 +284,116 @@ func collectSuppressions(pkg *Package) map[suppressionKey]map[string]bool {
 					continue
 				}
 				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					continue
+				s := &suppression{
+					pos:       pkg.Fset.Position(c.Pos()),
+					analyzers: make(map[string]bool),
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(fields[0], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
-					}
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						k := suppressionKey{file: pos.Filename, line: line}
-						if sup[k] == nil {
-							sup[k] = make(map[string]bool)
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							s.analyzers[name] = true
 						}
-						sup[k][name] = true
 					}
+					s.reason = strings.Join(fields[1:], " ")
 				}
+				sups = append(sups, s)
 			}
 		}
 	}
-	return sup
+	return sups
 }
 
-// filterSuppressed drops findings covered by a //caer:allow comment.
-func filterSuppressed(pkg *Package, findings []Finding) []Finding {
-	sup := collectSuppressions(pkg)
-	if len(sup) == 0 {
+// filterSuppressed drops findings covered by a //caer:allow comment and
+// marks the comments that did the covering. Suppression-hygiene findings
+// themselves cannot be suppressed.
+func filterSuppressed(sups []*suppression, findings []Finding) []Finding {
+	if len(sups) == 0 {
 		return findings
 	}
 	kept := findings[:0]
 	for _, f := range findings {
-		allowed := sup[suppressionKey{file: f.Pos.Filename, line: f.Pos.Line}]
-		if allowed != nil && (allowed[f.Analyzer] || allowed["all"]) {
-			continue
+		suppressed := false
+		for _, s := range sups {
+			if s.covers(f.Pos.Filename, f.Pos.Line) && s.allows(f.Analyzer) {
+				s.used = true
+				suppressed = true
+			}
 		}
-		kept = append(kept, f)
+		if !suppressed {
+			kept = append(kept, f)
+		}
 	}
 	return kept
 }
 
+// suppressionFindings reports hygiene violations: a missing reason is
+// always a finding; an allow that suppressed nothing is a finding under
+// Config.ReportUnusedSuppressions, but only when every analyzer it names
+// actually ran (so -analyzer subsets do not produce false staleness).
+func suppressionFindings(sups []*suppression, cfg *Config, active map[string]bool) []Finding {
+	fullSuite := true
+	for _, name := range AnalyzerNames() {
+		if !active[name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Finding
+	for _, s := range sups {
+		names := sortedNames(s.analyzers)
+		if len(s.analyzers) == 0 || s.reason == "" {
+			out = append(out, Finding{
+				Analyzer: Suppression.Name,
+				Pos:      s.pos,
+				Message: "suppression needs a reason: //caer:allow <analyzer> <reason> " +
+					"(an unexplained allow is unreviewable)",
+			})
+			continue
+		}
+		if !cfg.ReportUnusedSuppressions || s.used {
+			continue
+		}
+		ranAll := true
+		for name := range s.analyzers {
+			if name == "all" {
+				ranAll = ranAll && fullSuite
+			} else if !active[name] {
+				ranAll = false
+			}
+		}
+		if !ranAll {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: Suppression.Name,
+			Pos:      s.pos,
+			Message: fmt.Sprintf("unused suppression for %s: the allow no longer "+
+				"matches any finding; delete it", strings.Join(names, ",")),
+		})
+	}
+	return out
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Vet loads every package named by dirs (absolute or modRoot-relative
-// package directories) and runs the analyzers over each, returning all
-// surviving findings sorted by position.
+// package directories), builds the module-wide call graph, and runs the
+// analyzers over each package, returning all surviving findings sorted by
+// position.
 func Vet(modRoot, modPath string, dirs []string, analyzers []*Analyzer, cfg *Config) ([]Finding, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
 	cfg.ModulePath = modPath
 	loader := NewLoader(modRoot, modPath)
-	var all []Finding
+	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -202,14 +402,7 @@ func Vet(modRoot, modPath string, dirs []string, analyzers []*Analyzer, cfg *Con
 		if pkg == nil { // no buildable Go files
 			continue
 		}
-		all = append(all, RunAnalyzers(pkg, analyzers, cfg)...)
+		pkgs = append(pkgs, pkg)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		return a.Pos.Line < b.Pos.Line
-	})
-	return all, nil
+	return VetPackages(pkgs, analyzers, cfg), nil
 }

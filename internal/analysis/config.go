@@ -37,6 +37,34 @@ type Config struct {
 	// EnumIgnorePrefixes lists constant-name prefixes excluded from
 	// exhaustiveness (count sentinels like numEvents).
 	EnumIgnorePrefixes []string
+
+	// ColdFuncs are reviewed call-graph barriers: hot-path propagation
+	// (CallGraph.HotSet) stops at these functions. Each entry marks a
+	// function that a hot root calls but that is, by documented design,
+	// off the per-period budget — one-time lazy setup, per-batch pool
+	// handoff, or decision paths that rebuild state. Adding an entry is a
+	// reviewed act, exactly like adding a //caer:allow.
+	ColdFuncs []string
+
+	// DeterministicPkgs lists final import-path elements whose entire
+	// package must be bit-reproducible: the simulation core the byte-
+	// identity gates (DESIGN.md §6, §11) depend on.
+	DeterministicPkgs []string
+
+	// DeterministicFuncs lists individual result-assembly functions
+	// (dotted keys like HotPathFuncs) held to the same determinism rules
+	// in packages that are otherwise free to read clocks — experiment
+	// report paths and telemetry exporters whose output is diffed.
+	DeterministicFuncs []string
+
+	// MetricNames is the telemetry family inventory (DESIGN.md §10's
+	// registry table): every name passed to a telemetry registration
+	// call must appear here, so the spine and the docs cannot drift.
+	MetricNames []string
+
+	// ReportUnusedSuppressions turns stale //caer:allow comments into
+	// findings (the -unused-suppressions flag; on in CI).
+	ReportUnusedSuppressions bool
 }
 
 // DefaultConfig returns the inventory for this repository: the CAER hot
@@ -124,8 +152,56 @@ func DefaultConfig() *Config {
 			"experiments.FaultKind",
 			"sched.Policy", "sched.JobState", "sched.DecisionKind",
 			"telemetry.MetricKind", "telemetry.SpanKind",
+			"analysis.EdgeKind",
 		},
 		EnumIgnorePrefixes: []string{"num"},
+		ColdFuncs: []string{
+			// One-time lazy deployment build inside the first Step; every
+			// period after it is a cheap started-flag check.
+			"caer.Runtime.start",
+			// Worker-pool handoff: the channel ops are the price of
+			// domain parallelism, paid once per dispatched batch of
+			// periods, not per memory access (DESIGN.md §11).
+			"machine.Machine.dispatch", "machine.Machine.domainWorker",
+			// One-time lazy deployment build inside the scheduler's first
+			// Step, mirroring caer.Runtime.start.
+			"sched.Scheduler.start",
+			// Scheduler decision paths: they record decisions, rebuild
+			// engines, and log — allocating by documented design; the
+			// per-period observe/tick/apply loop around them is hot.
+			"sched.Scheduler.admitTo", "sched.Scheduler.finishJobs",
+			"sched.Scheduler.maybeMigrate",
+		},
+		DeterministicPkgs: []string{"machine", "mem", "sched", "caer"},
+		DeterministicFuncs: []string{
+			// Telemetry exporters whose output lands in diffed artifacts.
+			"telemetry.SpanRecorder.ChromeEvents",
+			// Experiment result assembly feeding BENCH_*.json byte-identity
+			// gates (DESIGN.md §11).
+			"experiments.SchedRegime.Table", "experiments.SchedRegime.WriteJSON",
+			"experiments.PerfReport.Table", "experiments.PerfReport.WriteJSON",
+			"experiments.marshalComparable",
+		},
+		MetricNames: []string{
+			"caer_pmu_reads_total", "caer_pmu_rearms_total", "caer_pmu_probes_total",
+			"caer_pmu_faults_total",
+			"caer_comm_publishes_total", "caer_comm_broadcasts_total",
+			"caer_comm_staleness_periods", "caer_comm_period",
+			"caer_engine_ticks_total", "caer_engine_verdicts_total",
+			"caer_engine_holds_total", "caer_engine_hold_periods",
+			"caer_engine_directive_changes_total", "caer_engine_paused_periods_total",
+			"caer_engine_watchdog_trips_total", "caer_engine_degraded_ticks_total",
+			"caer_engine_log_dropped_total",
+			"caer_core_pressure", "caer_core_directive", "caer_core_degraded",
+			"caer_sched_admissions_total", "caer_sched_aged_bypasses_total",
+			"caer_sched_vetoes_total", "caer_sched_migrations_total",
+			"caer_sched_completions_total", "caer_sched_class_flips_total",
+			"caer_sched_queue_depth", "caer_sched_running",
+			"caer_runner_runs_total", "caer_runner_relaunches_total",
+			"caer_runner_periods_total",
+			"caer_telemetry_ops_total", "caer_telemetry_spans_total",
+			"caer_telemetry_spans_dropped_total",
+		},
 	}
 }
 
@@ -182,6 +258,41 @@ func (c *Config) IsHotPathFunc(pkgPath, recv, name string) bool {
 // snapshot/copy API.
 func (c *Config) IsAllocFunc(pkgPath, recv, name string) bool {
 	return matchList(c.AllocFuncs, funcKeys(pkgPath, recv, name)...)
+}
+
+// IsColdFunc reports whether the function is a reviewed hot-path
+// propagation barrier.
+func (c *Config) IsColdFunc(pkgPath, recv, name string) bool {
+	return matchList(c.ColdFuncs, funcKeys(pkgPath, recv, name)...)
+}
+
+// IsDeterministicPkg reports whether the whole package is held to the
+// determinism rules.
+func (c *Config) IsDeterministicPkg(pkgPath string) bool {
+	base := pkgBase(pkgPath)
+	for _, p := range c.DeterministicPkgs {
+		if base == p {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDeterministicFunc reports whether the individual function is held to
+// the determinism rules.
+func (c *Config) IsDeterministicFunc(pkgPath, recv, name string) bool {
+	return matchList(c.DeterministicFuncs, funcKeys(pkgPath, recv, name)...)
+}
+
+// IsMetricName reports whether a telemetry family name is in the spine
+// inventory.
+func (c *Config) IsMetricName(name string) bool {
+	for _, n := range c.MetricNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // IsEnumType reports whether the named type is one of the

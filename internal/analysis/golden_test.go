@@ -116,6 +116,9 @@ func TestGoldenComm(t *testing.T)      { runGolden(t, "comm") }
 func TestGoldenCaer(t *testing.T)      { runGolden(t, "caer") }
 func TestGoldenPmu(t *testing.T)       { runGolden(t, "pmu") }
 func TestGoldenTelemetry(t *testing.T) { runGolden(t, "telemetry") }
+func TestGoldenMem(t *testing.T)       { runGolden(t, "mem") }
+func TestGoldenLifecycle(t *testing.T) { runGolden(t, "lifecycle") }
+func TestGoldenTeldisc(t *testing.T)   { runGolden(t, "teldisc") }
 
 // TestGoldenSeedsEveryAnalyzer guards the fixtures themselves: each
 // analyzer of the suite must have at least one seeded violation across the
@@ -124,7 +127,7 @@ func TestGoldenSeedsEveryAnalyzer(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ModulePath = "test"
 	hit := make(map[string]int)
-	for _, rel := range []string{"comm", "caer", "pmu", "telemetry"} {
+	for _, rel := range []string{"comm", "caer", "pmu", "telemetry", "mem", "lifecycle", "teldisc", "hygiene"} {
 		for _, f := range RunAnalyzers(loadTestPkg(t, rel), Analyzers(), cfg) {
 			hit[f.Analyzer]++
 		}
@@ -132,6 +135,47 @@ func TestGoldenSeedsEveryAnalyzer(t *testing.T) {
 	for _, a := range Analyzers() {
 		if hit[a.Name] == 0 {
 			t.Errorf("analyzer %s catches nothing in the golden packages", a.Name)
+		}
+	}
+}
+
+// TestSuppressionHygiene checks the hygiene analyzer over its dedicated
+// fixture package: a reason-less allow is always a finding, an unused
+// allow is a finding under ReportUnusedSuppressions — but only when the
+// analyzers it names actually ran (subset runs must not cry stale).
+func TestSuppressionHygiene(t *testing.T) {
+	pkg := loadTestPkg(t, "hygiene")
+	cfg := DefaultConfig()
+	cfg.ModulePath = "test"
+	cfg.ReportUnusedSuppressions = true
+
+	var missingReason, unused, other int
+	for _, f := range RunAnalyzers(pkg, Analyzers(), cfg) {
+		switch {
+		case f.Analyzer == Suppression.Name && strings.Contains(f.Message, "needs a reason"):
+			missingReason++
+		case f.Analyzer == Suppression.Name && strings.Contains(f.Message, "unused suppression"):
+			unused++
+		default:
+			other++
+			t.Errorf("unexpected finding in hygiene package: %s", f)
+		}
+	}
+	if missingReason != 1 {
+		t.Errorf("missing-reason findings = %d, want 1", missingReason)
+	}
+	if unused != 1 {
+		t.Errorf("unused-suppression findings = %d, want 1", unused)
+	}
+
+	// A subset run without hotpath must not call the hotpath allow stale.
+	subset, err := SelectAnalyzers("lockdiscipline,suppression")
+	if err != nil {
+		t.Fatalf("SelectAnalyzers: %v", err)
+	}
+	for _, f := range RunAnalyzers(pkg, subset, cfg) {
+		if strings.Contains(f.Message, "unused suppression") {
+			t.Errorf("unused finding reported though hotpath did not run: %s", f)
 		}
 	}
 }
@@ -161,7 +205,7 @@ func TestSuppressionComment(t *testing.T) {
 	if got := inSuppress(raw); got != 1 {
 		t.Fatalf("expected exactly 1 raw hotpath finding in suppress.go, got %d", got)
 	}
-	if got := inSuppress(filterSuppressed(pkg, raw)); got != 0 {
+	if got := inSuppress(filterSuppressed(collectSuppressions(pkg), raw)); got != 0 {
 		t.Errorf("suppressed finding survived filtering (%d left)", got)
 	}
 }

@@ -1,0 +1,398 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLifecycle requires every go statement to have a provable
+// shutdown edge. The worker pool behind domain-parallel stepping (DESIGN.md
+// §11) and the telemetry server must not leak goroutines across runs: a
+// parked goroutine holds its stack, its channel, and — for pool workers —
+// a reference to the whole machine. Three disciplines count as proof:
+//
+//  1. the spawned body ranges over a channel that some function in the
+//     loaded packages closes (close(ch) on the same variable or field);
+//  2. the spawned body contains a select with a receive case that
+//     returns (the context/done pattern);
+//  3. the spawned body calls Done() on a sync.WaitGroup that the spawning
+//     function — or a call-graph caller of it — Waits on.
+//
+// Anything else (including go statements whose target the static graph
+// cannot resolve) is a finding. A goroutine whose shutdown edge is real
+// but outside these shapes — e.g. an http.Server goroutine that exits
+// when its listener closes — takes a //caer:allow goroutinelifecycle with
+// the reason documenting the edge.
+var GoroutineLifecycle = &Analyzer{
+	Name: "goroutinelifecycle",
+	Doc: "require every go statement to have a provable shutdown edge: a closed " +
+		"ranged channel, a done-select that returns, or WaitGroup pairing",
+	Run: runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pass *Pass) {
+	if pass.Graph == nil {
+		return
+	}
+	closed := closedChannelObjects(pass.Graph)
+	waits := waitGroupWaitSites(pass.Graph)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, g, fn, closed, waits)
+				return true
+			})
+		}
+	}
+}
+
+// spawnedBody resolves the function a go statement runs: a literal's own
+// body, or the declaration of a statically-resolved callee. params maps
+// the body's channel parameters back to the go call's arguments.
+func spawnedBody(pass *Pass, g *ast.GoStmt) (body *ast.BlockStmt, params []*types.Var) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, objectsOf(pass, lit.Type.Params)
+	}
+	callee := calleeFunc(pass, g.Call)
+	if callee == nil {
+		return nil, nil
+	}
+	node := pass.Graph.Lookup(callee)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil, nil
+	}
+	return node.Decl.Body, objectsOfDecl(node.Pkg, node.Decl)
+}
+
+func objectsOf(pass *Pass, fields *ast.FieldList) []*types.Var {
+	return fieldObjects(pass.Info, fields)
+}
+
+func objectsOfDecl(pkg *Package, fd *ast.FuncDecl) []*types.Var {
+	return fieldObjects(pkg.Info, fd.Type.Params)
+}
+
+func fieldObjects(info *types.Info, fields *ast.FieldList) []*types.Var {
+	if fields == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, enclosing *types.Func,
+	closed map[*types.Var]bool, waits map[*types.Var][]*Node) {
+
+	body, params := spawnedBody(pass, g)
+	if body == nil {
+		pass.Reportf(g.Pos(),
+			"go statement spawns a dynamically-resolved function; the analyzer cannot "+
+				"prove a shutdown edge — spawn a declared function or a literal")
+		return
+	}
+	if rangesOverClosedChannel(pass, g, body, params, closed) {
+		return
+	}
+	if hasDoneSelectReturn(body) {
+		return
+	}
+	if hasWaitGroupPairing(pass, g, body, enclosing, waits) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"go statement has no provable shutdown edge (no close of its ranged channel, "+
+			"no done-select that returns, no WaitGroup pairing); a leaked goroutine "+
+			"outlives the run it was spawned for")
+}
+
+// rangesOverClosedChannel reports whether the spawned body ranges over a
+// channel variable that the loaded packages provably close. Channel
+// parameters are mapped back to the go call's argument expressions.
+func rangesOverClosedChannel(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt,
+	params []*types.Var, closed map[*types.Var]bool) bool {
+
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, isRange := n.(*ast.RangeStmt)
+		if !isRange || ok {
+			return !ok
+		}
+		tv, hasType := typeOfRangeX(pass, g, rng)
+		if !hasType {
+			return true
+		}
+		if _, isChan := tv.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		v := channelVar(pass, g, rng.X)
+		if v == nil {
+			return true
+		}
+		// A parameter maps back to the argument at the spawn site.
+		for i, p := range params {
+			if p == v && i < len(g.Call.Args) {
+				v = exprVar(pass, g.Call.Args[i])
+				break
+			}
+		}
+		if v != nil && closed[v] {
+			ok = true
+		}
+		return !ok
+	})
+	return ok
+}
+
+// typeOfRangeX resolves the type of a range operand, trying the spawning
+// package's info (covers literals and same-package declarations).
+func typeOfRangeX(pass *Pass, g *ast.GoStmt, rng *ast.RangeStmt) (types.Type, bool) {
+	if tv, ok := pass.Info.Types[rng.X]; ok && tv.Type != nil {
+		return tv.Type, true
+	}
+	// The body may belong to a declaration in another loaded package;
+	// find its info through the callee's node.
+	if callee := calleeFunc(pass, g.Call); callee != nil {
+		if node := pass.Graph.Lookup(callee); node != nil {
+			if tv, ok := node.Pkg.Info.Types[rng.X]; ok && tv.Type != nil {
+				return tv.Type, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// channelVar resolves the variable or field behind a channel expression,
+// looking in both the spawning package and the spawned declaration's
+// package.
+func channelVar(pass *Pass, g *ast.GoStmt, e ast.Expr) *types.Var {
+	if v := exprVar(pass, e); v != nil {
+		return v
+	}
+	if callee := calleeFunc(pass, g.Call); callee != nil {
+		if node := pass.Graph.Lookup(callee); node != nil {
+			return exprVarInfo(node.Pkg.Info, e)
+		}
+	}
+	return nil
+}
+
+func exprVar(pass *Pass, e ast.Expr) *types.Var {
+	return exprVarInfo(pass.Info, e)
+}
+
+// exprVarInfo resolves an identifier or field selector to its variable
+// object.
+func exprVarInfo(info *types.Info, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// hasDoneSelectReturn reports whether the body contains a select with a
+// receive case whose clause returns — the context/done shutdown shape.
+func hasDoneSelectReturn(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, stmt := range sel.Body.List {
+			clause, ok := stmt.(*ast.CommClause)
+			if !ok || clause.Comm == nil || !isReceiveComm(clause.Comm) {
+				continue
+			}
+			for _, s := range clause.Body {
+				if _, isRet := s.(*ast.ReturnStmt); isRet {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isReceiveComm reports whether a select comm statement is a channel
+// receive (bare, assigned, or declared).
+func isReceiveComm(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		u, ok := s.X.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasWaitGroupPairing reports whether the spawned body calls Done on a
+// sync.WaitGroup that the spawning function, or a transitive caller of
+// it, Waits on.
+func hasWaitGroupPairing(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt,
+	enclosing *types.Func, waits map[*types.Var][]*Node) bool {
+
+	var doneVars []*types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if v := waitGroupVar(pass, g, sel.X); v != nil {
+			doneVars = append(doneVars, v)
+		}
+		return true
+	})
+	if len(doneVars) == 0 {
+		return false
+	}
+
+	// The functions whose Wait satisfies the pairing: the spawner itself
+	// and everything that can reach it through the call graph.
+	allowed := make(map[*types.Func]bool)
+	if enclosing != nil {
+		allowed[enclosing] = true
+		if node := pass.Graph.Lookup(enclosing); node != nil {
+			stack := []*Node{node}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, e := range n.In {
+					if e.Kind == EdgeGo || allowed[e.From.Fn] {
+						continue
+					}
+					allowed[e.From.Fn] = true
+					stack = append(stack, e.From)
+				}
+			}
+		}
+	}
+	for _, v := range doneVars {
+		for _, waiter := range waits[v] {
+			if allowed[waiter.Fn] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waitGroupVar resolves x to a sync.WaitGroup variable or field, looking
+// in the spawning package first, then the spawned declaration's package.
+func waitGroupVar(pass *Pass, g *ast.GoStmt, x ast.Expr) *types.Var {
+	v := exprVar(pass, x)
+	if v == nil {
+		if callee := calleeFunc(pass, g.Call); callee != nil {
+			if node := pass.Graph.Lookup(callee); node != nil {
+				v = exprVarInfo(node.Pkg.Info, x)
+			}
+		}
+	}
+	if v == nil || !isWaitGroup(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// closedChannelObjects collects every variable and field the loaded
+// packages pass to close().
+func closedChannelObjects(g *CallGraph) map[*types.Var]bool {
+	closed := make(map[*types.Var]bool)
+	for _, n := range g.Nodes() {
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" || len(call.Args) != 1 {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if v := exprVarInfo(info, call.Args[0]); v != nil {
+				closed[v] = true
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// waitGroupWaitSites collects, per WaitGroup variable, the functions that
+// call Wait on it.
+func waitGroupWaitSites(g *CallGraph) map[*types.Var][]*Node {
+	waits := make(map[*types.Var][]*Node)
+	for _, n := range g.Nodes() {
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Wait" {
+				return true
+			}
+			v := exprVarInfo(info, sel.X)
+			if v == nil || !isWaitGroup(v.Type()) {
+				return true
+			}
+			waits[v] = append(waits[v], n)
+			return true
+		})
+	}
+	return waits
+}

@@ -13,10 +13,18 @@ import (
 // probe, detector steps, responder reactions, and the table publish/read
 // operations. The function inventory lives in Config.HotPathFuncs;
 // arguments of panic calls are exempt (terminal paths are off-budget).
+//
+// v2: the ban propagates transitively. A function two static calls below
+// an inventoried root runs every period just the same, so the analyzer
+// checks the whole hot closure (CallGraph.HotSet: static, defer, and
+// conservative interface edges; go edges and reviewed Config.ColdFuncs
+// barriers stop the walk) and reports the call path that makes a finding
+// hot.
 var HotPath = &Analyzer{
 	Name: "hotpath",
 	Doc: "flag allocations, fmt/time/os/syscall calls, map and channel operations, " +
-		"and calls to allocating snapshot APIs inside the per-period hot path",
+		"and calls to allocating snapshot APIs in the per-period hot path and " +
+		"everything the call graph proves reachable from it",
 	Run: runHotPath,
 }
 
@@ -42,13 +50,21 @@ func runHotPath(pass *Pass) {
 				continue
 			}
 			if pass.Cfg.IsHotPathFunc(pass.Pkg.Path(), recvTypeName(fn), fn.Name()) {
-				checkHotBody(pass, fd)
+				// Inventoried root: findings carry no path prefix.
+				checkHotBody(pass, fd, nil)
+			} else if path := pass.HotPathOf(fn); len(path) > 1 {
+				// Transitively hot: reached from a root through the call
+				// graph; findings name the chain that makes them hot.
+				checkHotBody(pass, fd, path)
 			}
 		}
 	}
 }
 
-func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+func checkHotBody(pass *Pass, fd *ast.FuncDecl, path []string) {
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.ReportPathf(pos, path, format, args...)
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
@@ -57,56 +73,56 @@ func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
 				// formatting is off-budget.
 				return false
 			}
-			checkHotCall(pass, node)
+			checkHotCall(pass, node, report)
 		case *ast.CompositeLit:
-			checkHotCompositeLit(pass, node)
+			checkHotCompositeLit(pass, node, report)
 		case *ast.UnaryExpr:
 			if node.Op == token.AND {
 				if _, ok := node.X.(*ast.CompositeLit); ok {
-					pass.Reportf(node.Pos(), "heap allocation (&composite literal) in hot path")
+					report(node.Pos(), "heap allocation (&composite literal) in hot path")
 				}
 			}
 			if node.Op == token.ARROW {
-				pass.Reportf(node.Pos(), "channel receive in hot path may block the sampling period")
+				report(node.Pos(), "channel receive in hot path may block the sampling period")
 			}
 		case *ast.BinaryExpr:
 			// Constant-folded concatenations cost nothing at run time.
 			if node.Op == token.ADD && isStringType(pass, node) &&
 				pass.Info.Types[node].Value == nil {
-				pass.Reportf(node.Pos(), "string concatenation allocates in hot path")
+				report(node.Pos(), "string concatenation allocates in hot path")
 			}
 		case *ast.IndexExpr:
 			if isMapType(pass, node.X) {
-				pass.Reportf(node.Pos(), "map access in hot path (hashing, possible growth)")
+				report(node.Pos(), "map access in hot path (hashing, possible growth)")
 			}
 		case *ast.RangeStmt:
 			if isMapType(pass, node.X) {
-				pass.Reportf(node.Pos(), "map iteration in hot path (randomized, allocates iterator state)")
+				report(node.Pos(), "map iteration in hot path (randomized, allocates iterator state)")
 			}
 		case *ast.SendStmt:
-			pass.Reportf(node.Pos(), "channel send in hot path may block the sampling period")
+			report(node.Pos(), "channel send in hot path may block the sampling period")
 		case *ast.GoStmt:
-			pass.Reportf(node.Pos(), "goroutine spawn in hot path allocates a stack every period")
+			report(node.Pos(), "goroutine spawn in hot path allocates a stack every period")
 		}
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, call *ast.CallExpr) {
+func checkHotCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
 	// Builtins that allocate or touch maps.
 	for _, b := range []string{"make", "new", "append"} {
 		if isBuiltinCall(pass, call, b) {
-			pass.Reportf(call.Pos(), "%s() allocates in hot path", b)
+			report(call.Pos(), "%s() allocates in hot path", b)
 			return
 		}
 	}
 	if isBuiltinCall(pass, call, "delete") {
-		pass.Reportf(call.Pos(), "map delete in hot path")
+		report(call.Pos(), "map delete in hot path")
 		return
 	}
 	for _, b := range []string{"print", "println"} {
 		if isBuiltinCall(pass, call, b) {
-			pass.Reportf(call.Pos(), "%s writes to stderr in hot path", b)
+			report(call.Pos(), "%s writes to stderr in hot path", b)
 			return
 		}
 	}
@@ -114,7 +130,7 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 	// Conversions between string and byte/rune slices copy.
 	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		if isStringByteConversion(tv.Type, pass.Info.Types[call.Args[0]].Type) {
-			pass.Reportf(call.Pos(), "string/[]byte conversion copies in hot path")
+			report(call.Pos(), "string/[]byte conversion copies in hot path")
 			return
 		}
 	}
@@ -126,7 +142,7 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 	}
 	if callee.Pkg() != nil {
 		if reason, banned := hotBannedPkgs[callee.Pkg().Path()]; banned {
-			pass.Reportf(call.Pos(), "call to %s.%s in hot path (%s)",
+			report(call.Pos(), "call to %s.%s in hot path (%s)",
 				pkgBase(callee.Pkg().Path()), callee.Name(), reason)
 			return
 		}
@@ -135,23 +151,23 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 			if recv != "" {
 				recv += "."
 			}
-			pass.Reportf(call.Pos(),
+			report(call.Pos(),
 				"call to allocating snapshot API %s%s in hot path; iterate in place instead",
 				recv, callee.Name())
 		}
 	}
 }
 
-func checkHotCompositeLit(pass *Pass, lit *ast.CompositeLit) {
+func checkHotCompositeLit(pass *Pass, lit *ast.CompositeLit, report func(token.Pos, string, ...any)) {
 	tv, ok := pass.Info.Types[lit]
 	if !ok {
 		return
 	}
 	switch tv.Type.Underlying().(type) {
 	case *types.Slice:
-		pass.Reportf(lit.Pos(), "slice literal allocates in hot path")
+		report(lit.Pos(), "slice literal allocates in hot path")
 	case *types.Map:
-		pass.Reportf(lit.Pos(), "map literal allocates in hot path")
+		report(lit.Pos(), "map literal allocates in hot path")
 	}
 }
 

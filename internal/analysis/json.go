@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the machine-readable shape of one finding, consumed by CI
+// tooling (artifact upload, dashboards). Field names are part of the
+// caer-vet -json contract; add fields, never rename them.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Path     []string `json:"path,omitempty"`
+}
+
+// jsonReport wraps the findings with a count so an empty run still produces
+// a well-formed, self-describing document.
+type jsonReport struct {
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// WriteJSON renders findings as one indented JSON document. The findings
+// array is always present (empty, not null, when clean) so consumers can
+// iterate without a nil check.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	rep := jsonReport{Count: len(findings), Findings: make([]jsonFinding, 0, len(findings))}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Path:     f.Path,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

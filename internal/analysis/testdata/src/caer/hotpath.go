@@ -22,7 +22,7 @@ func (e *Engine) Tick(own float64, name string) comm.Directive {
 	buf := make([]float64, 8) // want hotpath "make() allocates in hot path"
 	_ = buf
 	fmt.Println("tick", own) // want hotpath "call to fmt.Println in hot path"
-	now := time.Now()        // want hotpath "call to time.Now in hot path"
+	now := time.Now()        // want hotpath "call to time.Now in hot path" determinism "wall-clock read time.Now"
 	_ = now
 	e.scratch["misses"]++          // want hotpath "map access in hot path"
 	e.notes = append(e.notes, "x") // want hotpath "append() allocates in hot path"
@@ -42,7 +42,7 @@ func (e *Engine) Tick(own float64, name string) comm.Directive {
 	}
 	samples := e.slot.Samples() // want hotpath "call to allocating snapshot API Slot.Samples in hot path"
 	_ = samples
-	go e.drain()     // want hotpath "goroutine spawn in hot path"
+	go e.drain()     // want hotpath "goroutine spawn in hot path" goroutinelifecycle "no provable shutdown edge"
 	e.ch <- 1        // want hotpath "channel send in hot path"
 	v := <-e.ch      // want hotpath "channel receive in hot path"
 	_ = v
@@ -57,10 +57,12 @@ type pair struct{ a, b int }
 
 func (e *Engine) drain() {}
 
-// coldReport is not in the hot inventory: allocations here are fine.
+// coldReport is not in the hot inventory, so allocations are fine — but
+// the caer package is deterministic, and ranging a map into an ordered
+// byte stream is exactly the nondeterminism the byte-identity gates catch.
 func coldReport(e *Engine) string {
 	parts := make([]byte, 0, 64)
-	for k, v := range e.scratch {
+	for k, v := range e.scratch { // want determinism "map iteration feeds ordered output"
 		parts = append(parts, []byte(fmt.Sprintf("%s=%d;", k, v))...)
 	}
 	return string(parts)

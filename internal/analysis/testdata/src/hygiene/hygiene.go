@@ -1,0 +1,27 @@
+// Package hygiene seeds suppression-hygiene fixtures for the dedicated
+// unit test (TestSuppressionHygiene): want comments cannot share a line
+// with //caer:allow — the trailing text would parse as the allow's reason
+// — so this package stays out of the golden walk.
+package hygiene
+
+// mightFail returns an error the caller below discards.
+func mightFail() error { return nil }
+
+// reasonless suppresses the discard below but gives no reason: the
+// suppression itself becomes a finding.
+func reasonless() {
+	//caer:allow lockdiscipline
+	mightFail()
+}
+
+// stale carries an allow that matches nothing: reported only under
+// ReportUnusedSuppressions, and only when the named analyzer ran.
+func stale() int {
+	//caer:allow hotpath long-gone diagnostic copy
+	return 1
+}
+
+var (
+	_ = reasonless
+	_ = stale
+)

@@ -1,0 +1,90 @@
+// Package lifecycle seeds goroutine-lifecycle fixtures: every go
+// statement needs a provable shutdown edge — a ranged channel somebody
+// closes, a done-select that returns, or WaitGroup pairing visible to the
+// spawner or one of its call-graph parents.
+package lifecycle
+
+import "sync"
+
+type pool struct {
+	tasks chan int
+	wg    sync.WaitGroup
+}
+
+// startWorkers spawns range-workers over a channel this package provably
+// closes (stop below): no finding.
+func (p *pool) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		go p.worker(p.tasks)
+	}
+}
+
+func (p *pool) worker(tasks <-chan int) {
+	for t := range tasks {
+		_ = t
+	}
+}
+
+func (p *pool) stop() { close(p.tasks) }
+
+// startDone spawns a goroutine with a done-select that returns: no
+// finding.
+func startDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// startPaired spawns with a WaitGroup Done whose Wait lives in a
+// call-graph parent (drain): no finding.
+func (p *pool) startPaired() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+// drain is the parent that waits, satisfying startPaired's proof.
+func (p *pool) drain() {
+	p.startPaired()
+	p.wg.Wait()
+}
+
+// leak spawns a goroutine nothing can stop.
+func leak() {
+	go func() { // want goroutinelifecycle "no provable shutdown edge"
+		for {
+		}
+	}()
+}
+
+// leakRange ranges over a channel no function in the package closes.
+func leakRange(ch chan int) {
+	go func() { // want goroutinelifecycle "no provable shutdown edge"
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// startDynamic spawns through a function value the static graph cannot
+// resolve.
+func startDynamic(f func()) {
+	go f() // want goroutinelifecycle "dynamically-resolved function"
+}
+
+var (
+	_ = (*pool).startWorkers
+	_ = (*pool).stop
+	_ = (*pool).drain
+	_ = startDone
+	_ = leak
+	_ = leakRange
+	_ = startDynamic
+)

@@ -24,6 +24,25 @@ const (
 
 var _ = numSpanKinds
 
+// Registry hands out metric handles; in the real spine its methods lock,
+// allocate, and dedup, so the discipline analyzer treats them as
+// registration calls.
+type Registry struct {
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+func (r *Registry) Counter(name string) *Counter     { return r.counter }
+func (r *Registry) Gauge(name string) *Gauge         { return r.gauge }
+func (r *Registry) Histogram(name string) *Histogram { return r.histogram }
+
+// NewSpanRecorder is the registration-shaped constructor the discipline
+// analyzer also recognizes.
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	return &SpanRecorder{ring: make([]Span, capacity)}
+}
+
 type Counter struct {
 	v     uint64
 	trail []uint64
@@ -35,6 +54,14 @@ func (c *Counter) Inc() {
 	c.v++
 	c.trail = append(c.trail, c.v) // want hotpath "append() allocates in hot path"
 	fmt.Println("inc", c.v)        // want hotpath "call to fmt.Println in hot path"
+}
+
+// Add is hot (matches telemetry.Counter.Add); registering a family from
+// inside it is exactly what telemetrydiscipline forbids.
+func (c *Counter) Add(reg *Registry, delta uint64) {
+	c.v += delta
+	hot := reg.Counter("caer_engine_ticks_total") // want telemetrydiscipline "registration Counter inside a hot-path-reachable function"
+	_ = hot
 }
 
 type Gauge struct {
@@ -66,9 +93,11 @@ func (r *SpanRecorder) Record(kind SpanKind, start uint64) {
 	_ = snap
 }
 
-// Spans is the allocating snapshot API, banned inside hot functions.
+// Spans is the allocating snapshot API, banned inside hot functions. The
+// hot Record method above calls it, so the call graph marks its body
+// transitively hot (path: SpanRecorder.Record -> SpanRecorder.Spans).
 func (r *SpanRecorder) Spans() []Span {
-	out := make([]Span, len(r.ring))
+	out := make([]Span, len(r.ring)) // want hotpath "make() allocates in hot path"
 	copy(out, r.ring)
 	return out
 }

@@ -46,6 +46,7 @@ type RedLightGreenLight struct {
 	length    int
 	adaptive  bool
 	maxLength int
+	name      string
 
 	lastVerdict   bool
 	haveVerdict   bool
@@ -62,21 +63,22 @@ func NewRedLightGreenLight(cfg Config) *RedLightGreenLight {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
+	name := "red-light-green-light(adaptive)"
+	if !cfg.AdaptiveResponse {
+		name = fmt.Sprintf("red-light-green-light(%d)", cfg.ResponseLength)
+	}
 	return &RedLightGreenLight{
 		length:        cfg.ResponseLength,
 		adaptive:      cfg.AdaptiveResponse,
 		maxLength:     cfg.MaxResponseLength,
 		currentLength: cfg.ResponseLength,
+		name:          name,
 	}
 }
 
-// Name implements Responder.
-func (r *RedLightGreenLight) Name() string {
-	if r.adaptive {
-		return "red-light-green-light(adaptive)"
-	}
-	return fmt.Sprintf("red-light-green-light(%d)", r.length)
-}
+// Name implements Responder. The name is formatted once at construction so
+// that calling it from period-loop code stays allocation-free.
+func (r *RedLightGreenLight) Name() string { return r.name }
 
 // React implements Responder.
 func (r *RedLightGreenLight) React(contending bool, v View) (comm.Directive, int) {

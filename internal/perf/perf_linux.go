@@ -12,11 +12,21 @@ package perf
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"syscall"
 	"unsafe"
 
 	"caer/internal/pmu"
+)
+
+// Static read-path errors: Counter.Read sits on the per-period sampling
+// path, so its failure modes must not format (fmt.Errorf allocates). The
+// errno detail is lost, but every caller treats a failed read as "signal
+// missing" anyway.
+var (
+	errCounterRead = errors.New("perf: read counter failed")
+	errShortRead   = errors.New("perf: short counter read")
 )
 
 // sysPerfEventOpen is the x86-64/arm64 syscall number for
@@ -145,12 +155,13 @@ func (c *Counter) ioctl(req uintptr) error {
 // Read returns the counter's cumulative value.
 func (c *Counter) Read() (uint64, error) {
 	var buf [8]byte
+	//caer:allow hotpath reading the perf fd IS the sampling mechanism; one read(2) per counter per period is the budgeted cost (paper §6)
 	n, err := syscall.Read(c.fd, buf[:])
 	if err != nil {
-		return 0, fmt.Errorf("perf: read counter: %w", err)
+		return 0, errCounterRead
 	}
 	if n != 8 {
-		return 0, fmt.Errorf("perf: short counter read (%d bytes)", n)
+		return 0, errShortRead
 	}
 	return binary.LittleEndian.Uint64(buf[:]), nil
 }
@@ -172,8 +183,11 @@ func (c *Counter) Close() error {
 // runtime's monitors and engines run unchanged over real hardware. "Core"
 // indices map to the CPUs passed to NewSource in order.
 type Source struct {
-	cpus     []int
-	counters map[int]map[pmu.Event]*Counter
+	cpus []int
+	// counters is dense, indexed [core][event]: the per-period read path
+	// must not hash (two map lookups per event per core per period add up
+	// against the paper's <1% overhead budget). Unopened slots are nil.
+	counters [][]*Counter
 }
 
 // NewSource opens counters for every (cpu, event) pair. On any failure it
@@ -182,9 +196,10 @@ func NewSource(cpus []int, events []pmu.Event) (*Source, error) {
 	if len(cpus) == 0 || len(events) == 0 {
 		return nil, fmt.Errorf("perf: source needs at least one CPU and one event")
 	}
-	s := &Source{cpus: cpus, counters: make(map[int]map[pmu.Event]*Counter)}
+	width := len(pmu.Events())
+	s := &Source{cpus: cpus, counters: make([][]*Counter, len(cpus))}
 	for core, cpu := range cpus {
-		s.counters[core] = make(map[pmu.Event]*Counter)
+		s.counters[core] = make([]*Counter, width)
 		for _, ev := range events {
 			c, err := OpenCounter(ev, cpu)
 			if err != nil {
@@ -201,8 +216,11 @@ func NewSource(cpus []int, events []pmu.Event) (*Source, error) {
 // read fails) report zero; the CAER heuristics treat missing signals as
 // quiet, which fails safe (no throttling).
 func (s *Source) ReadCounter(core int, ev pmu.Event) uint64 {
-	c, ok := s.counters[core][ev]
-	if !ok {
+	if core < 0 || core >= len(s.counters) || int(ev) < 0 || int(ev) >= len(s.counters[core]) {
+		return 0
+	}
+	c := s.counters[core][ev]
+	if c == nil {
 		return 0
 	}
 	v, err := c.Read()
@@ -215,8 +233,11 @@ func (s *Source) ReadCounter(core int, ev pmu.Event) uint64 {
 // Close releases every counter, returning the first error.
 func (s *Source) Close() error {
 	var first error
-	for _, m := range s.counters {
-		for _, c := range m {
+	for _, row := range s.counters {
+		for _, c := range row {
+			if c == nil {
+				continue
+			}
 			if err := c.Close(); err != nil && first == nil {
 				first = err
 			}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -212,11 +213,19 @@ func ParseChromeTrace(r io.Reader) ([]ChromeEvent, error) {
 func (r *SpanRecorder) ChromeEvents() []ChromeEvent {
 	spans := r.Spans()
 	events := make([]ChromeEvent, 0, len(spans)+8)
+	// Emit thread-name metadata in sorted track order: ranging the map
+	// directly made the export byte-unstable run to run (Go randomizes map
+	// order), which broke diffing two traces of the same run.
 	r.mu.Lock()
-	for track, name := range r.tracks {
+	tracks := make([]int32, 0, len(r.tracks))
+	for track := range r.tracks {
+		tracks = append(tracks, track)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+	for _, track := range tracks {
 		events = append(events, ChromeEvent{
 			Name: "thread_name", Phase: "M", Pid: 1, Tid: int(track),
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": r.tracks[track]},
 		})
 	}
 	r.mu.Unlock()
