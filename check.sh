@@ -35,6 +35,11 @@ go run ./cmd/caer-bench -chaos -quick > /dev/null
 # byte-identical to the serial run's (the determinism contract).
 go run ./cmd/caer-bench -perf -quick > /dev/null
 rm -f BENCH_perf.json
+# Sampling gate: the detection-latency-vs-overhead sweep (DESIGN.md §13)
+# in short mode — the event-driven modes must flag every contention burst
+# the poller flags, with no false flags, at strictly fewer probes.
+go run ./cmd/caer-bench -sampling -quick > /dev/null
+rm -f BENCH_sampling.json
 # Scheduler gate: the placement regimes (DESIGN.md §9) in short mode —
 # contention-aware placement must beat round-robin at equal throughput
 # (asserted by the experiments suite test; this exercises the artifact path).

@@ -8,7 +8,7 @@
 //	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
-//	           [-chaos] [-sched] [-perf] [-workers N]
+//	           [-chaos] [-sched] [-sampling] [-perf] [-workers N]
 //	           [-telemetry addr] [-telemetry-out FILE]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
@@ -25,6 +25,15 @@
 // machine, printed as a table and written as machine-readable
 // BENCH_sched.json (into -csv DIR when given, else the working directory).
 // Like -chaos, it skips the figures unless -fig is set explicitly.
+//
+// -sampling runs the detection-latency-vs-overhead sweep (DESIGN.md §13):
+// a fixed seeded contention-burst trace replayed under every-period
+// polling, the adaptive interval controller at several max-interval
+// bounds, and threshold-interrupt mode. It exits non-zero unless every
+// mode flags every burst with no false flags and the event-driven modes
+// spend strictly fewer probes than polling, and writes the sweep as
+// machine-readable BENCH_sampling.json (into -csv DIR when given, else
+// the working directory). Skips figures unless -fig is set explicitly.
 //
 // -perf runs the performance baseline suite (DESIGN.md §11): ns/op for each
 // stage of the per-period pipeline (cache step, hierarchy access, PMU probe,
@@ -60,6 +69,7 @@ func main() {
 	ablation := flag.String("ablation", "", "additionally run ablations: partition, response, tuning, adversary, multiapp (comma-separated or 'all')")
 	chaos := flag.Bool("chaos", false, "run the fault-injection regime suite (skips figures unless -fig is set explicitly)")
 	schedFlag := flag.Bool("sched", false, "run the scheduler regime suite and write BENCH_sched.json (skips figures unless -fig is set explicitly)")
+	samplingFlag := flag.Bool("sampling", false, "run the sampling-mode sweep and write BENCH_sampling.json (skips figures unless -fig is set explicitly)")
 	perfFlag := flag.Bool("perf", false, "run the performance baseline suite and write BENCH_perf.json (skips figures unless -fig is set explicitly)")
 	workers := flag.Int("workers", 4, "domain-stepper worker pool size for -perf parallel measurements and -sched")
 	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
@@ -96,7 +106,7 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	if (*chaos || *schedFlag || *perfFlag) && !figSetExplicitly {
+	if (*chaos || *schedFlag || *perfFlag || *samplingFlag) && !figSetExplicitly {
 		want = map[string]bool{}
 	}
 	all := want["all"]
@@ -258,6 +268,31 @@ func main() {
 			fatalf("create %s: %v", path, err)
 		}
 		if err := regime.WriteJSON(fh); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fh.Close()
+		fmt.Fprintf(out, "[wrote %s]\n", path)
+	}
+	if *samplingFlag {
+		fmt.Fprintf(out, "\n")
+		sweep := experiments.SamplingSuite(*seed, *quick)
+		if err := sweep.Render(out); err != nil {
+			fatalf("render sampling sweep: %v", err)
+		}
+		if err := sweep.Check(); err != nil {
+			fatalf("sampling gate violation: %v", err)
+		}
+		fmt.Fprintf(out, "sampling gate holds: every mode flagged %d/%d bursts; event-driven modes probed less than polling\n",
+			sweep.Bursts, sweep.Bursts)
+		path := "BENCH_sampling.json"
+		if *csvDir != "" {
+			path = filepath.Join(*csvDir, path)
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		if err := sweep.WriteJSON(fh); err != nil {
 			fatalf("write %s: %v", path, err)
 		}
 		fh.Close()

@@ -77,8 +77,9 @@ func DefaultConfig() *Config {
 			// Engine: per-period detect/respond state machine (Figure 5).
 			"caer.Engine.Tick", "caer.Engine.finishTick",
 			"caer.Engine.OwnMean", "caer.Engine.NeighborMean", "caer.Engine.LastNeighbor",
-			// CAER-M monitor probe.
-			"caer.Monitor.Tick",
+			// CAER-M monitor probe (TickSpan is the span-normalizing core
+			// Tick delegates to).
+			"caer.Monitor.Tick", "caer.Monitor.TickSpan",
 			// Detection heuristics (Algorithms 1 and 2).
 			"caer.ShutterDetector.Step", "caer.RuleDetector.Step",
 			"caer.RandomDetector.Step", "caer.HybridDetector.Step",
@@ -87,15 +88,25 @@ func DefaultConfig() *Config {
 			"caer.SoftLock.React", "caer.SoftLock.Hold",
 			// Bounded decision log, appended every verdict.
 			"caer.EventLog.Append",
-			// Whole-deployment period step.
-			"caer.Runtime.Step",
+			// Whole-deployment period step plus its sampling-schedule
+			// helpers: the probe pipeline, the schedule advance, the quiet
+			// check, and the cadence declaration all run inside Step.
+			"caer.Runtime.Step", "caer.Runtime.probe", "caer.Runtime.afterProbe",
+			"caer.Runtime.quiet", "caer.Runtime.declareCadence",
+			"caer.Runtime.sleep", "caer.Runtime.wake",
+			// Adaptive-sampling interval controller, folded in per probe.
+			"caer.IntervalController.Observe", "caer.IntervalController.Interval",
+			"caer.Engine.Idle",
 			// Communication table publish/read (Figure 4), plus the per-period
 			// liveness protocol the engine watchdog consumes.
-			"comm.Slot.Publish", "comm.Slot.Directive", "comm.Slot.SetDirective",
+			"comm.Slot.Publish", "comm.Slot.PublishWithCadence",
+			"comm.Slot.DeclareCadence",
+			"comm.Slot.Directive", "comm.Slot.SetDirective",
 			"comm.Slot.LastSample", "comm.Slot.WindowMean",
 			"comm.Slot.Seq", "comm.Slot.StalePeriods",
 			"comm.Table.BroadcastDirective", "comm.Table.BumpPeriod",
-			"comm.ShmTable.Publish", "comm.ShmTable.WindowMean",
+			"comm.ShmTable.Publish", "comm.ShmTable.PublishCadence",
+			"comm.ShmTable.DeclareCadence", "comm.ShmTable.WindowMean",
 			"comm.ShmTable.DirectiveOf", "comm.ShmTable.SetDirective",
 			"comm.ShmTable.Published",
 			"comm.ShmTable.StalePeriods", "comm.ShmTable.BumpPeriod",
@@ -104,8 +115,10 @@ func DefaultConfig() *Config {
 			// Sliding-window primitives consumed every period.
 			"stats.Window.Push", "stats.Window.Mean", "stats.Window.MeanRange",
 			"stats.Window.At", "stats.Window.Last",
-			// PMU read-and-restart probes and the per-period sampler sweep.
+			// PMU read-and-restart probes, the per-period sampler sweep, and
+			// the interrupt-mode threshold check (one per sleeping period).
 			"pmu.PMU.ReadDelta", "pmu.PMU.Peek", "pmu.Sampler.Probe",
+			"pmu.Threshold.Check",
 			// Simulated hardware counter read feeding the PMU.
 			"machine.Machine.ReadCounter",
 			// Machine period loop: the cycle-stepping core every mode drives.
@@ -148,6 +161,7 @@ func DefaultConfig() *Config {
 		EnumTypes: []string{
 			"comm.Directive", "comm.Role",
 			"caer.Verdict", "caer.HeuristicKind", "caer.EventKind",
+			"caer.SamplingMode",
 			"pmu.Event", "runner.Mode", "spec.Sensitivity",
 			"experiments.FaultKind",
 			"sched.Policy", "sched.JobState", "sched.DecisionKind",
@@ -180,10 +194,12 @@ func DefaultConfig() *Config {
 			// gates (DESIGN.md §11).
 			"experiments.SchedRegime.Table", "experiments.SchedRegime.WriteJSON",
 			"experiments.PerfReport.Table", "experiments.PerfReport.WriteJSON",
+			"experiments.SamplingReport.Table", "experiments.SamplingReport.WriteJSON",
 			"experiments.marshalComparable",
 		},
 		MetricNames: []string{
 			"caer_pmu_reads_total", "caer_pmu_rearms_total", "caer_pmu_probes_total",
+			"caer_pmu_probes_skipped_total", "caer_pmu_trigger_fires_total",
 			"caer_pmu_faults_total",
 			"caer_comm_publishes_total", "caer_comm_broadcasts_total",
 			"caer_comm_staleness_periods", "caer_comm_period",
@@ -192,6 +208,7 @@ func DefaultConfig() *Config {
 			"caer_engine_directive_changes_total", "caer_engine_paused_periods_total",
 			"caer_engine_watchdog_trips_total", "caer_engine_degraded_ticks_total",
 			"caer_engine_log_dropped_total",
+			"caer_engine_mode", "caer_sampling_interval",
 			"caer_core_pressure", "caer_core_directive", "caer_core_degraded",
 			"caer_sched_admissions_total", "caer_sched_aged_bypasses_total",
 			"caer_sched_vetoes_total", "caer_sched_migrations_total",

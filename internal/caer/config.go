@@ -81,6 +81,33 @@ type Config struct {
 	// through telemetry as caer_engine_log_dropped_total). 0 keeps the
 	// default capacity of 4096.
 	EventLogCap int
+
+	// Sampling selects how the runtime schedules the detection pipeline
+	// (DESIGN.md §13). The zero value is the paper's every-period polling,
+	// so existing configurations are unchanged; the sampling knobs below
+	// are ignored (and not validated) under polling.
+	Sampling SamplingMode
+	// MaxProbeInterval is the adaptive controller's interval ceiling and
+	// the interrupt mode's keepalive cadence, in periods. It should stay
+	// well below WatchdogPeriods — skipped probes declare their cadence to
+	// the comm table, but the keepalive is also what bounds how long a
+	// dead monitor can hide behind the sleep.
+	MaxProbeInterval int
+	// SampleGrowth is the adaptive controller's multiplicative widening
+	// factor (>= 2).
+	SampleGrowth int
+	// QuietProbes is the hysteresis bound shared by both modes: the
+	// adaptive interval widens (and the interrupt mode goes to sleep) only
+	// after this many consecutive quiet probes.
+	QuietProbes int
+	// TriggerWindow is the interrupt trigger's sliding-window length in
+	// periods.
+	TriggerWindow int
+	// TriggerBound is the windowed neighbour LLC-miss sum that fires the
+	// interrupt trigger. 0 derives NoiseThresh * TriggerWindow — the
+	// window-equivalent of the noise floor the adaptive mode compares
+	// against.
+	TriggerBound float64
 }
 
 // DefaultConfig returns the paper's configuration scaled to the simulated
@@ -100,6 +127,12 @@ func DefaultConfig() Config {
 		RandomP:           0.5,
 		RandomSeed:        1,
 		WatchdogPeriods:   30,
+		Sampling:          SamplingPolling,
+		MaxProbeInterval:  16,
+		SampleGrowth:      2,
+		QuietProbes:       3,
+		TriggerWindow:     4,
+		TriggerBound:      0, // derived: NoiseThresh * TriggerWindow
 	}
 }
 
@@ -134,6 +167,28 @@ func (c Config) Validate() error {
 		return fmt.Errorf("caer: WatchdogPeriods %d must be non-negative (0 disables)", c.WatchdogPeriods)
 	case c.EventLogCap < 0:
 		return fmt.Errorf("caer: EventLogCap %d must be non-negative (0 = default)", c.EventLogCap)
+	}
+	switch c.Sampling {
+	case SamplingPolling:
+		// The sampling knobs are inert under polling; leave them
+		// unvalidated so legacy literal configs stay valid.
+	case SamplingAdaptive, SamplingInterrupt:
+		switch {
+		case c.MaxProbeInterval < 1:
+			return fmt.Errorf("caer: MaxProbeInterval %d must be >= 1 under %s sampling", c.MaxProbeInterval, c.Sampling)
+		case c.Sampling == SamplingAdaptive && c.SampleGrowth < 2:
+			return fmt.Errorf("caer: SampleGrowth %d must be >= 2 under adaptive sampling", c.SampleGrowth)
+		case c.QuietProbes < 1:
+			return fmt.Errorf("caer: QuietProbes %d must be >= 1 under %s sampling", c.QuietProbes, c.Sampling)
+		case c.Sampling == SamplingInterrupt && c.TriggerWindow < 1:
+			return fmt.Errorf("caer: TriggerWindow %d must be >= 1 under interrupt sampling", c.TriggerWindow)
+		case c.TriggerBound < 0:
+			return fmt.Errorf("caer: TriggerBound %v must be non-negative (0 = derived)", c.TriggerBound)
+		case c.WatchdogPeriods > 0 && c.MaxProbeInterval >= c.WatchdogPeriods:
+			return fmt.Errorf("caer: MaxProbeInterval %d must stay below WatchdogPeriods %d (the keepalive must outpace the watchdog)", c.MaxProbeInterval, c.WatchdogPeriods)
+		}
+	default:
+		return fmt.Errorf("caer: unknown sampling mode %d", int(c.Sampling))
 	}
 	return nil
 }

@@ -130,6 +130,13 @@ func (e *Engine) SetWatchdog(periods int) {
 // its neighbour samples are stale.
 func (e *Engine) Degraded() bool { return e.state == stateDegraded }
 
+// Idle reports whether the engine is at a detection rest point: not
+// holding, not degraded, and no multi-period detection protocol in flight.
+// The sampling controllers only widen the probe interval (or go to sleep)
+// when every engine is idle — stretching a shutter measurement or a
+// response hold across skipped periods would corrupt its period accounting.
+func (e *Engine) Idle() bool { return e.state == stateDetecting && !e.detActive }
+
 // maxNeighborStale returns the staleness, in table periods, of the
 // longest-silent neighbour slot.
 func (e *Engine) maxNeighborStale() uint64 {

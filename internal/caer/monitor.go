@@ -56,12 +56,23 @@ func (m *Monitor) Down() bool { return m.down }
 
 // Tick performs one periodic probe: read-and-restart the LLC-miss counter
 // and publish the delta. A crashed monitor does nothing.
-func (m *Monitor) Tick() {
+func (m *Monitor) Tick() { m.TickSpan(1) }
+
+// TickSpan is Tick for a probe covering elapsed machine periods (>= 1):
+// under the adaptive/interrupt sampling modes the runtime skips probes, so
+// a probe's counter delta spans several periods. The published sample is
+// normalized to misses per period, keeping the slot window — and every
+// consumer of it (engine detectors, sched.Classifier) — in the per-period
+// units the thresholds are calibrated for. A crashed monitor does nothing.
+func (m *Monitor) TickSpan(elapsed uint64) {
+	if elapsed == 0 {
+		elapsed = 1
+	}
 	m.period++
 	if m.down {
 		return
 	}
-	v := float64(m.pmu.ReadDelta(pmu.EventLLCMisses))
+	v := float64(m.pmu.ReadDelta(pmu.EventLLCMisses)) / float64(elapsed)
 	m.slot.Publish(v)
 	telemetry.DefaultSpans.Record(m.track, telemetry.SpanProbe, m.period-1, 1, v)
 }

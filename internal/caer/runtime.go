@@ -142,6 +142,21 @@ type Runtime struct {
 	batchRelaunches []int // per batch application, in registration order
 	started         bool
 
+	// Sampling-schedule state (DESIGN.md §13). probeWait counts down the
+	// periods until the next scheduled probe; probeElapsed counts up the
+	// periods the next probe's counter deltas will span. lastCombined is
+	// the directive issued at the most recent probe — it keeps actuating
+	// (and feeding the quiet check) across skipped periods.
+	ctl          *IntervalController // adaptive mode only
+	triggers     []*pmu.Threshold    // interrupt mode: one per latency core
+	probeWait    int
+	probeElapsed int
+	sleeping     bool   // interrupt mode: pipeline parked behind the triggers
+	armedStart   uint64 // machine period the current sleep stretch began
+	quietStreak  int    // interrupt mode: consecutive quiet probes while awake
+	lastCombined comm.Directive
+	sstats       SamplingStats
+
 	// Per-core live gauges for caer-top, registered once in start() so the
 	// per-period updates in Step stay allocation-free.
 	latGauges []coreGauges // one per latency app
@@ -269,8 +284,46 @@ func (rt *Runtime) start() {
 		rt.latGauges = append(rt.latGauges, rt.registerCoreGauges(a, comm.RoleLatency))
 	}
 	rt.batchRelaunches = make([]int, len(rt.batch))
+	rt.sstats.Mode = rt.cfg.Sampling
+	rt.sstats.WidestInterval = 1
+	rt.probeWait = 1
+	switch rt.cfg.Sampling {
+	case SamplingPolling:
+	case SamplingAdaptive:
+		rt.ctl = NewIntervalController(rt.cfg.MaxProbeInterval, rt.cfg.SampleGrowth, rt.cfg.QuietProbes)
+	case SamplingInterrupt:
+		bound := rt.cfg.TriggerBound
+		if bound <= 0 {
+			bound = rt.cfg.NoiseThresh * float64(rt.cfg.TriggerWindow)
+		}
+		if bound < 1 {
+			bound = 1
+		}
+		for _, a := range rt.latency {
+			rt.triggers = append(rt.triggers, pmu.NewThreshold(rt.src, a.core, pmu.ThresholdConfig{
+				Event:  pmu.EventLLCMisses,
+				Bound:  uint64(bound),
+				Window: rt.cfg.TriggerWindow,
+			}))
+		}
+	default:
+		panic(fmt.Sprintf("caer: unknown sampling mode %d", int(rt.cfg.Sampling)))
+	}
+	telemetry.EngineMode.Set(float64(rt.cfg.Sampling))
+	telemetry.SamplingInterval.Set(1)
 	rt.started = true
 }
+
+// Triggers returns the interrupt-mode threshold triggers, in latency-app
+// registration order (nil in other modes; for inspection and tests).
+func (rt *Runtime) Triggers() []*pmu.Threshold { return rt.triggers }
+
+// SamplingStats returns the runtime's sampling-schedule counters.
+func (rt *Runtime) SamplingStats() SamplingStats { return rt.sstats }
+
+// Sleeping reports whether the interrupt mode currently has the pipeline
+// parked behind its threshold triggers.
+func (rt *Runtime) Sleeping() bool { return rt.sleeping }
 
 // registerCoreGauges pre-registers one application's live per-core series.
 // Setup path: registration allocates so Step does not have to.
@@ -287,12 +340,21 @@ func (rt *Runtime) registerCoreGauges(a app, role comm.Role) coreGauges {
 	return g
 }
 
-// Step executes one sampling period: run the machine for one period, have
-// every CAER-M monitor publish its application's sample, tick every
-// engine, combine their directives (all batch applications must react
-// together, §3.2 — any engine asserting pause pauses them all), apply the
-// combined directive through the actuator, and relaunch any batch
-// application that ran to completion (§6.1).
+// Step executes one sampling period: run the machine for one period,
+// advance the table clock, and — on probe periods — run the detection
+// pipeline end to end: every CAER-M monitor publishes its application's
+// sample, every engine ticks, their directives combine (all batch
+// applications must react together, §3.2 — any engine asserting pause
+// pauses them all). Every period, probe or not, the combined directive is
+// re-applied through the actuator and completed batch applications are
+// relaunched (§6.1).
+//
+// Under polling every period is a probe period. The adaptive mode probes
+// every probeWait periods as decided by the interval controller; the
+// interrupt mode parks the pipeline behind per-latency-core threshold
+// triggers once the system has been quiet, checking only the triggers
+// (plus a keepalive probe every MaxProbeInterval periods, which is also
+// what lets the watchdog see a dead monitor through the sleep).
 func (rt *Runtime) Step() {
 	if !rt.started {
 		rt.start()
@@ -300,22 +362,42 @@ func (rt *Runtime) Step() {
 	rt.m.RunPeriod()
 	telemetry.RunnerPeriods.Inc()
 	// Advance the table's period clock before this period's publishes so
-	// StalePeriods counts publisher silence in whole periods.
+	// StalePeriods counts publisher lateness in whole periods.
 	rt.table.BumpPeriod()
-	for _, mon := range rt.monitors {
-		mon.Tick()
-	}
-	combined := comm.DirectiveRun
-	for i, eng := range rt.engines {
-		own := float64(rt.enginePM[i].ReadDelta(pmu.EventLLCMisses))
-		if eng.Tick(own) == comm.DirectivePause {
-			combined = comm.DirectivePause
+	rt.probeElapsed++
+	probe := true
+	switch rt.cfg.Sampling {
+	case SamplingPolling:
+	case SamplingAdaptive:
+		rt.probeWait--
+		probe = rt.probeWait <= 0
+	case SamplingInterrupt:
+		rt.probeWait--
+		if rt.sleeping {
+			fired := 0
+			for _, tr := range rt.triggers {
+				if tr.Check() {
+					fired++
+				}
+			}
+			if fired > 0 {
+				rt.wake(fired)
+			} else {
+				probe = rt.probeWait <= 0 // keepalive probe
+			}
 		}
 	}
-	rt.table.BroadcastDirective(combined)
+	if probe {
+		rt.probe(rt.probeElapsed)
+		rt.afterProbe()
+		rt.probeElapsed = 0
+	} else {
+		rt.sstats.SkippedPeriods++
+		telemetry.PMUProbesSkipped.Inc()
+	}
 	for i := range rt.batch {
 		b := &rt.batch[i]
-		rt.actuator(rt.m.Core(b.core), combined)
+		rt.actuator(rt.m.Core(b.core), rt.lastCombined)
 		if b.proc.Done() {
 			rt.m.FlushCore(b.core)
 			b.proc.Relaunch()
@@ -324,6 +406,29 @@ func (rt *Runtime) Step() {
 			telemetry.RunnerRelaunches.Inc()
 		}
 	}
+}
+
+// probe runs the full detection pipeline for one probe covering elapsed
+// machine periods (1 under polling): monitor publishes, engine ticks, the
+// combined broadcast, and the live gauges. Counter deltas are normalized
+// by elapsed so every window stays in misses-per-period units.
+func (rt *Runtime) probe(elapsed int) {
+	rt.sstats.ProbePeriods++
+	if rt.sleeping {
+		rt.sstats.Keepalives++
+	}
+	for _, mon := range rt.monitors {
+		mon.TickSpan(uint64(elapsed))
+	}
+	combined := comm.DirectiveRun
+	for i, eng := range rt.engines {
+		own := float64(rt.enginePM[i].ReadDelta(pmu.EventLLCMisses)) / float64(elapsed)
+		if eng.Tick(own) == comm.DirectivePause {
+			combined = comm.DirectivePause
+		}
+	}
+	rt.table.BroadcastDirective(combined)
+	rt.lastCombined = combined
 	for i, a := range rt.latency {
 		rt.latGauges[i].pressure.Set(a.slot.WindowMean())
 	}
@@ -341,6 +446,137 @@ func (rt *Runtime) Step() {
 			g.degraded.Set(0)
 		}
 	}
+}
+
+// afterProbe advances the sampling schedule with the probe's outcome,
+// deciding when the next probe lands and declaring the chosen cadence to
+// the comm table so deliberate skips do not read as publisher death.
+func (rt *Runtime) afterProbe() {
+	switch rt.cfg.Sampling {
+	case SamplingPolling:
+		rt.probeWait = 1
+	case SamplingAdaptive:
+		next := rt.ctl.Observe(rt.quiet())
+		if next > 1 {
+			rt.declareCadence(uint64(next))
+		}
+		if next > rt.sstats.WidestInterval {
+			rt.sstats.WidestInterval = next
+		}
+		rt.probeWait = next
+		telemetry.SamplingInterval.Set(float64(next))
+	case SamplingInterrupt:
+		if rt.sleeping {
+			// A keepalive probe landed while parked. Quiet: stay parked.
+			// Not quiet: pressure crept up without crossing the trigger
+			// bound (or a hidden failure surfaced) — wake and probe every
+			// period again.
+			if rt.quiet() {
+				rt.declareCadence(uint64(rt.cfg.MaxProbeInterval))
+				rt.probeWait = rt.cfg.MaxProbeInterval
+				return
+			}
+			rt.wake(0)
+			rt.probeWait = 1
+			return
+		}
+		if rt.quiet() {
+			rt.quietStreak++
+		} else {
+			rt.quietStreak = 0
+		}
+		if rt.quietStreak >= rt.cfg.QuietProbes {
+			rt.sleep()
+		} else {
+			rt.probeWait = 1
+		}
+	}
+}
+
+// quiet reports whether the probe found the system at a rest point: every
+// engine idle, the combined directive Run, every neighbour's latest
+// per-period pressure below the noise threshold, and no publisher late
+// against its declared cadence. Only then may the schedule widen.
+func (rt *Runtime) quiet() bool {
+	if rt.lastCombined == comm.DirectivePause {
+		return false
+	}
+	for _, eng := range rt.engines {
+		if !eng.Idle() {
+			return false
+		}
+	}
+	for _, a := range rt.latency {
+		if a.slot.LastSample() >= rt.cfg.NoiseThresh {
+			return false
+		}
+		if a.slot.StalePeriods() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// declareCadence re-stamps every on-schedule slot's expected next publish
+// to cadence periods out. Slots already late (a dead monitor) are left
+// alone so their staleness keeps accruing toward the watchdog horizon —
+// the schedule must never mask a real failure.
+func (rt *Runtime) declareCadence(cadence uint64) {
+	for _, a := range rt.latency {
+		if a.slot.StalePeriods() == 0 {
+			a.slot.DeclareCadence(cadence)
+		}
+	}
+	for _, b := range rt.batch {
+		if b.slot.StalePeriods() == 0 {
+			b.slot.DeclareCadence(cadence)
+		}
+	}
+}
+
+// sleep parks the pipeline behind the threshold triggers: arm them at the
+// current counts, declare the keepalive cadence, and record the sleep
+// start for the armed span.
+func (rt *Runtime) sleep() {
+	rt.sleeping = true
+	rt.quietStreak = 0
+	rt.armedStart = rt.m.Periods()
+	for _, tr := range rt.triggers {
+		tr.Arm()
+	}
+	rt.declareCadence(uint64(rt.cfg.MaxProbeInterval))
+	rt.probeWait = rt.cfg.MaxProbeInterval
+	if rt.cfg.MaxProbeInterval > rt.sstats.WidestInterval {
+		rt.sstats.WidestInterval = rt.cfg.MaxProbeInterval
+	}
+	telemetry.SamplingInterval.Set(float64(rt.cfg.MaxProbeInterval))
+}
+
+// wake ends a sleep stretch — fired > 0 when threshold triggers woke the
+// pipeline, 0 when a keepalive probe found the rest point gone. The armed
+// span (and, on a fire, the fired marker) is recorded on every engine
+// lane, stamped in machine periods (engine ticks do not advance during
+// sleep).
+func (rt *Runtime) wake(fired int) {
+	rt.sleeping = false
+	rt.quietStreak = 0
+	now := rt.m.Periods()
+	n := now - rt.armedStart
+	if n == 0 {
+		n = 1
+	}
+	val := 0.0
+	if fired > 0 {
+		val = 1
+		rt.sstats.TriggerFires++
+	}
+	for _, eng := range rt.engines {
+		telemetry.DefaultSpans.Record(eng.track, telemetry.SpanArmed, rt.armedStart, uint32(n), val)
+		if fired > 0 {
+			telemetry.DefaultSpans.Record(eng.track, telemetry.SpanFired, now, 1, float64(fired))
+		}
+	}
+	telemetry.SamplingInterval.Set(1)
 }
 
 // RunUntil steps until stop returns true or maxPeriods elapse, returning

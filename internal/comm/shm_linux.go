@@ -19,17 +19,21 @@ import (
 // CAER layer owning that slot; directives are written only by the engine.
 //
 // Layout (little-endian, version 2 — the period header field and the
-// per-slot lastPub stamp back the publisher-liveness protocol):
+// per-slot due stamp back the publisher-liveness protocol):
 //
 //	header:  magic u64 | windowSize u32 | slotCount u32 | period u64
 //	slot[i]: role u32 | directive u32 | published u64 | head u32 | count u32 |
-//	         lastPub u64 | samples [windowSize]f64
+//	         due u64 | samples [windowSize]f64
 //
-// published is the slot's publish sequence number and lastPub the table
-// period of its latest publish plus 1 (0 = never published); together with
-// the header's period counter (advanced once per period by the engine-side
-// process via BumpPeriod) they let any consumer ask StalePeriods — how long
-// a publisher has been silent — and detect a dead CAER-M monitor.
+// published is the slot's publish sequence number and due the table period
+// the owner declared its next publish for (0 = never published) — under the
+// default cadence of 1 that is the latest publish period plus 1, which is
+// bit-identical to the original version-2 lastPub stamp, so the magic is
+// unchanged. Together with the header's period counter (advanced once per
+// period by the engine-side process via BumpPeriod) the stamp lets any
+// consumer ask StalePeriods — how overdue a publisher is against its
+// declared cadence — and detect a dead CAER-M monitor without flagging a
+// sampling controller's intentional skips.
 //
 // ShmTable methods are not synchronized across processes beyond that
 // single-writer discipline; a reader may observe a window mid-update. The
@@ -54,7 +58,7 @@ const (
 	slotOffPublished = 8
 	slotOffHead      = 16
 	slotOffCount     = 20
-	slotOffLastPub   = 24
+	slotOffDue       = 24
 )
 
 // shmOffPeriod is the header offset of the period counter.
@@ -184,9 +188,20 @@ func (t *ShmTable) DirectiveOf(i int) Directive {
 }
 
 // Publish appends one sample to slot i's ring, advances the slot's publish
-// sequence number, and stamps the publish with the table's current period
-// (single writer per slot).
+// sequence number, and declares the next publish due in the following
+// period (cadence 1; single writer per slot).
 func (t *ShmTable) Publish(i int, v float64) {
+	t.PublishCadence(i, v, 1)
+}
+
+// PublishCadence is Publish with an explicit cadence declaration: the
+// owner commits to publishing slot i again within cadence table periods,
+// so StalePeriods measures lateness against the declared schedule (see
+// Slot.PublishWithCadence). A cadence of 0 is treated as 1.
+func (t *ShmTable) PublishCadence(i int, v float64, cadence uint64) {
+	if cadence == 0 {
+		cadence = 1
+	}
 	telemetry.CommPublishes.Inc()
 	off := t.slotOff(i)
 	published := binary.LittleEndian.Uint64(t.data[off+slotOffPublished:])
@@ -204,8 +219,24 @@ func (t *ShmTable) Publish(i int, v float64) {
 	binary.LittleEndian.PutUint64(t.data[off+slotOffPublished:], published+1)
 	binary.LittleEndian.PutUint32(t.data[off+slotOffHead:], uint32(head))
 	binary.LittleEndian.PutUint32(t.data[off+slotOffCount:], uint32(count))
-	binary.LittleEndian.PutUint64(t.data[off+slotOffLastPub:],
-		binary.LittleEndian.Uint64(t.data[shmOffPeriod:])+1)
+	binary.LittleEndian.PutUint64(t.data[off+slotOffDue:],
+		binary.LittleEndian.Uint64(t.data[shmOffPeriod:])+cadence)
+}
+
+// DeclareCadence re-stamps slot i's expected next publish to cadence table
+// periods from now without publishing a sample (see Slot.DeclareCadence).
+// A never-published slot stays never-published. A cadence of 0 is treated
+// as 1.
+func (t *ShmTable) DeclareCadence(i int, cadence uint64) {
+	if cadence == 0 {
+		cadence = 1
+	}
+	off := t.slotOff(i)
+	if binary.LittleEndian.Uint64(t.data[off+slotOffDue:]) == 0 {
+		return
+	}
+	binary.LittleEndian.PutUint64(t.data[off+slotOffDue:],
+		binary.LittleEndian.Uint64(t.data[shmOffPeriod:])+cadence)
 }
 
 // Published returns slot i's publish sequence number (the lifetime sample
@@ -228,19 +259,25 @@ func (t *ShmTable) Period() uint64 {
 	return binary.LittleEndian.Uint64(t.data[shmOffPeriod:])
 }
 
-// StalePeriods returns how many table periods have elapsed since slot i's
-// owner last published — 0 when the slot published during the current
-// period, the full table age when it never published. A consumer watching
-// this grow without bound is reading a dead publisher (a crashed CAER-M
-// monitor) and must fail open rather than trust the frozen window.
+// StalePeriods returns how many table periods slot i's owner is overdue
+// against its declared cadence — 0 while the table clock has not passed the
+// declared next-publish period (under the default cadence of 1, 0 when the
+// slot published during the current period), the full table age when it
+// never published. A consumer watching this grow without bound is reading a
+// dead publisher (a crashed CAER-M monitor) and must fail open rather than
+// trust the frozen window; a publisher honouring a declared wider cadence
+// never looks stale.
 func (t *ShmTable) StalePeriods(i int) uint64 {
 	off := t.slotOff(i)
 	period := binary.LittleEndian.Uint64(t.data[shmOffPeriod:])
-	lastPub := binary.LittleEndian.Uint64(t.data[off+slotOffLastPub:])
-	if lastPub == 0 {
+	due := binary.LittleEndian.Uint64(t.data[off+slotOffDue:])
+	if due == 0 {
 		return period
 	}
-	return period - (lastPub - 1)
+	if period < due {
+		return 0
+	}
+	return period - due + 1
 }
 
 // Samples returns a copy of slot i's windowed samples, oldest first.

@@ -77,7 +77,13 @@ type Slot struct {
 	window    *stats.Window
 	directive Directive
 	published uint64 // publish sequence number (samples over the lifetime)
-	lastPub   uint64 // table period of the latest publish, plus 1; 0 = never
+	// due is the expected table period of the owner's next publish, as
+	// declared by its latest publish/cadence declaration; 0 = never
+	// published. For the default cadence of 1 it equals the publish period
+	// plus 1, which is why StalePeriods can measure lateness against the
+	// declared cadence with no extra state: a slot is stale only once the
+	// table clock passes due.
+	due uint64
 }
 
 // ID returns the slot index within its table.
@@ -91,15 +97,47 @@ func (s *Slot) Role() Role { return s.role }
 
 // Publish appends one per-period sample (LLC misses during the period) to
 // the slot's window, advances the slot's publish sequence number, and
-// stamps the publish with the table's current period. Only the owning CAER
-// layer calls Publish.
+// declares the next publish due in the following period (cadence 1). Only
+// the owning CAER layer calls Publish.
 func (s *Slot) Publish(llcMisses float64) {
+	s.PublishWithCadence(llcMisses, 1)
+}
+
+// PublishWithCadence is Publish with an explicit cadence declaration: the
+// owner commits to publishing again within cadence table periods. A sampling
+// controller that deliberately skips probes declares its widened interval
+// here (or re-stamps it with DeclareCadence) so that StalePeriods — and the
+// engine watchdogs consuming it — measure lateness against the declared
+// schedule rather than flagging every intentional skip as a dead publisher.
+// A cadence of 0 is treated as 1.
+func (s *Slot) PublishWithCadence(llcMisses float64, cadence uint64) {
+	if cadence == 0 {
+		cadence = 1
+	}
 	telemetry.CommPublishes.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.window.Push(llcMisses)
 	s.published++
-	s.lastPub = s.table.period.Load() + 1
+	s.due = s.table.period.Load() + cadence
+}
+
+// DeclareCadence re-stamps the slot's expected next publish to cadence
+// table periods from now, without publishing a sample. The deployment's
+// sampling controller calls it after deciding the next probe interval —
+// the decision lands after the period's publishes, so the publish itself
+// cannot carry it. A slot that never published stays never-published (its
+// staleness remains the table age). A cadence of 0 is treated as 1.
+func (s *Slot) DeclareCadence(cadence uint64) {
+	if cadence == 0 {
+		cadence = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.due == 0 {
+		return
+	}
+	s.due = s.table.period.Load() + cadence
 }
 
 // Published returns the slot's publish sequence number (the lifetime
@@ -115,21 +153,28 @@ func (s *Slot) Published() uint64 {
 // number consumers compare across periods to detect a dead publisher.
 func (s *Slot) Seq() uint64 { return s.Published() }
 
-// StalePeriods returns how many table periods have elapsed since this
-// slot's owner last published — 0 when the slot published during the
-// current period, and the full table age when it never published at all.
-// Consumers (the CAER engines' watchdogs) treat a slot whose staleness
-// keeps growing as a dead publisher and fail open. Tables whose period is
-// never advanced (BumpPeriod unused) always report 0: staleness detection
-// is opt-in per deployment.
+// StalePeriods returns how many table periods the slot's owner is overdue:
+// 0 while the table clock has not yet passed the declared next-publish
+// period, and the overshoot (in whole periods, counting the due period
+// itself) once it has. Under the default cadence of 1 this is exactly
+// "periods since the last publish" — 0 when the slot published during the
+// current period — and a slot that never published reports the full table
+// age. Consumers (the CAER engines' watchdogs) treat a slot whose staleness
+// keeps growing as a dead publisher and fail open; a publisher honouring a
+// declared wider cadence never looks stale. Tables whose period is never
+// advanced (BumpPeriod unused) always report 0: staleness detection is
+// opt-in per deployment.
 func (s *Slot) StalePeriods() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	period := s.table.period.Load()
-	if s.lastPub == 0 {
+	if s.due == 0 {
 		return period
 	}
-	return period - (s.lastPub - 1)
+	if period < s.due {
+		return 0
+	}
+	return period - s.due + 1
 }
 
 // WindowMean returns the mean of the sample window (0 when empty).

@@ -102,6 +102,10 @@ type ChaosScenario struct {
 	Seed int64
 	// Quick shrinks the workload (for -short tests and `caer-bench -quick`).
 	Quick bool
+	// Sampling selects the probe schedule (zero value: every-period
+	// polling). The interrupt regime proves the event-driven path recovers
+	// through every fault class, not just clean traces.
+	Sampling caer.SamplingMode
 }
 
 // Monitor-crash schedule: the monitor dies at chaosCrashStart periods and
@@ -120,6 +124,7 @@ const (
 type ChaosReport struct {
 	Heuristic caer.HeuristicKind
 	Fault     FaultKind
+	Sampling  caer.SamplingMode
 
 	// Completed reports whether the latency-sensitive app finished.
 	Completed bool
@@ -150,6 +155,9 @@ type ChaosReport struct {
 	OutageEnd int
 	// WatchdogPeriods is the staleness horizon the run used.
 	WatchdogPeriods int
+	// SkippedPeriods counts probe periods the sampling schedule elided
+	// (zero under polling).
+	SkippedPeriods uint64
 }
 
 // RunChaos executes one chaos regime: mcf (the most contention-sensitive
@@ -166,6 +174,11 @@ func RunChaos(s ChaosScenario) ChaosReport {
 
 	cfg := caer.DefaultConfig()
 	cfg.WatchdogPeriods = chaosWatchdog
+	cfg.Sampling = s.Sampling
+	// The keepalive cadence must stay inside the tight chaos watchdog.
+	if cfg.MaxProbeInterval >= chaosWatchdog {
+		cfg.MaxProbeInterval = chaosWatchdog - 2
+	}
 	m := machine.New(machine.Config{Cores: 2})
 	var opts []caer.Option
 	var faults *pmu.FaultSource
@@ -178,7 +191,7 @@ func RunChaos(s ChaosScenario) ChaosReport {
 	rt.AddLatency("mcf", 0, latProc)
 	rt.AddBatch("lbm", 1, spec.LBM().Batch().NewProcess(1<<28, s.Seed+1))
 
-	out := ChaosReport{Heuristic: s.Heuristic, Fault: s.Fault, WatchdogPeriods: cfg.WatchdogPeriods}
+	out := ChaosReport{Heuristic: s.Heuristic, Fault: s.Fault, Sampling: s.Sampling, WatchdogPeriods: cfg.WatchdogPeriods}
 	outageEnd := chaosCrashStart + chaosOutageFactor*cfg.WatchdogPeriods
 	latSlot := rt.Monitors()[0].Slot()
 	streak := 0
@@ -222,6 +235,7 @@ func RunChaos(s ChaosScenario) ChaosReport {
 	out.DegradedTicks = st.DegradedTicks
 	out.DegradedAtEnd = eng.Degraded()
 	out.OutageEnd = outageEnd
+	out.SkippedPeriods = rt.SamplingStats().SkippedPeriods
 	if faults != nil {
 		out.Faults = faults.Counts()
 	}
@@ -234,8 +248,11 @@ func ChaosHeuristics() []caer.HeuristicKind {
 	return []caer.HeuristicKind{caer.HeuristicShutter, caer.HeuristicRule, caer.HeuristicHybrid}
 }
 
-// ChaosSuite runs every fault class against every chaos heuristic and
-// returns the reports, clean baselines first within each heuristic.
+// ChaosSuite runs every fault class against every chaos heuristic under
+// polling, then re-runs the full fault sweep with the rule heuristic in
+// threshold-interrupt mode — the event-driven path must recover through
+// every fault class too. Reports keep clean baselines first within each
+// block.
 func ChaosSuite(seed int64, quick bool) []ChaosReport {
 	var out []ChaosReport
 	for _, h := range ChaosHeuristics() {
@@ -243,17 +260,23 @@ func ChaosSuite(seed int64, quick bool) []ChaosReport {
 			out = append(out, RunChaos(ChaosScenario{Heuristic: h, Fault: f, Seed: seed, Quick: quick}))
 		}
 	}
+	for _, f := range FaultKinds() {
+		out = append(out, RunChaos(ChaosScenario{
+			Heuristic: caer.HeuristicRule, Fault: f, Seed: seed, Quick: quick,
+			Sampling: caer.SamplingInterrupt,
+		}))
+	}
 	return out
 }
 
 // WriteChaosReport renders the suite's reports as the EXPERIMENTS.md chaos
 // table.
 func WriteChaosReport(w io.Writer, reports []ChaosReport) {
-	fmt.Fprintf(w, "%-12s %-15s %9s %7s/%-7s %7s %6s %6s %11s\n",
-		"heuristic", "fault", "periods", "c+", "c-", "paused", "trips", "degr", "max-sample")
+	fmt.Fprintf(w, "%-12s %-15s %-9s %9s %7s/%-7s %7s %6s %6s %8s %11s\n",
+		"heuristic", "fault", "sampling", "periods", "c+", "c-", "paused", "trips", "degr", "skipped", "max-sample")
 	for _, r := range reports {
-		fmt.Fprintf(w, "%-12s %-15s %9d %7d/%-7d %7d %6d %6d %11.0f\n",
-			r.Heuristic, r.Fault, r.Periods, r.CPositive, r.CNegative,
-			r.PausedPeriods, r.WatchdogTrips, r.DegradedTicks, r.MaxSample)
+		fmt.Fprintf(w, "%-12s %-15s %-9s %9d %7d/%-7d %7d %6d %6d %8d %11.0f\n",
+			r.Heuristic, r.Fault, r.Sampling, r.Periods, r.CPositive, r.CNegative,
+			r.PausedPeriods, r.WatchdogTrips, r.DegradedTicks, r.SkippedPeriods, r.MaxSample)
 	}
 }

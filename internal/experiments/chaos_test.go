@@ -29,15 +29,19 @@ func TestFaultKindStrings(t *testing.T) {
 // producing verdicts, and degradation never outlives the faults.
 func TestChaosSuiteFailsOpen(t *testing.T) {
 	reports := ChaosSuite(1, true)
-	clean := map[caer.HeuristicKind]ChaosReport{}
+	type regime struct {
+		h caer.HeuristicKind
+		s caer.SamplingMode
+	}
+	clean := map[regime]ChaosReport{}
 	for _, r := range reports {
 		if r.Fault == FaultNone {
-			clean[r.Heuristic] = r
+			clean[regime{r.Heuristic, r.Sampling}] = r
 		}
 	}
 	for _, r := range reports {
 		r := r
-		t.Run(r.Heuristic.String()+"/"+r.Fault.String(), func(t *testing.T) {
+		t.Run(r.Heuristic.String()+"/"+r.Fault.String()+"/"+r.Sampling.String(), func(t *testing.T) {
 			if !r.Completed {
 				t.Fatal("latency app never completed: the runtime is not fail-open")
 			}
@@ -50,7 +54,7 @@ func TestChaosSuiteFailsOpen(t *testing.T) {
 			if r.CPositive+r.CNegative == 0 {
 				t.Error("detection produced no verdicts at all")
 			}
-			base, ok := clean[r.Heuristic]
+			base, ok := clean[regime{r.Heuristic, r.Sampling}]
 			if !ok {
 				t.Fatal("no clean baseline for heuristic")
 			}
@@ -108,6 +112,29 @@ func TestChaosMonitorCrashBoundsPauses(t *testing.T) {
 					r.OutagePauseStreak, horizon)
 			}
 		})
+	}
+}
+
+// TestChaosSuiteCoversInterruptSampling pins the suite's event-driven
+// block: every fault class must also run under threshold-interrupt
+// sampling, and those runs must recover like the polling ones (the suite's
+// shared fail-open assertions apply to them via TestChaosSuiteFailsOpen —
+// here we check the block exists and is complete).
+func TestChaosSuiteCoversInterruptSampling(t *testing.T) {
+	reports := ChaosSuite(1, true)
+	covered := map[FaultKind]bool{}
+	for _, r := range reports {
+		if r.Sampling == caer.SamplingInterrupt {
+			if r.Heuristic != caer.HeuristicRule {
+				t.Errorf("interrupt chaos run uses %s, want rule-based", r.Heuristic)
+			}
+			covered[r.Fault] = true
+		}
+	}
+	for _, f := range FaultKinds() {
+		if !covered[f] {
+			t.Errorf("fault class %s has no interrupt-sampling chaos run", f)
+		}
 	}
 }
 

@@ -95,8 +95,9 @@ type faultState struct {
 // FaultSource is safe for concurrent use and reproducible: a given
 // (seed, read sequence) pair always yields the same fault schedule.
 type FaultSource struct {
-	src Source
-	cfg FaultConfig
+	src  Source
+	peek peekFunc // src's side-effect-free read path
+	cfg  FaultConfig
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -119,7 +120,7 @@ func NewFaultSource(src Source, cfg FaultConfig) *FaultSource {
 	if cfg.JitterMax == 0 {
 		cfg.JitterMax = 64
 	}
-	return &FaultSource{src: src, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &FaultSource{src: src, peek: resolvePeeker(src), cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // Counts returns the faults injected so far.
@@ -172,4 +173,24 @@ func (f *FaultSource) ReadCounter(core int, ev Event) uint64 {
 	st.last = v
 	st.read = true
 	return v
+}
+
+// PeekCounter implements Peeker: it returns the value a fault-free read of
+// the current counter state would see — the underlying count adjusted by
+// the persistent offsets faults have already accumulated (spike offset,
+// reset base) — without rolling the seeded schedule or mutating any
+// bookkeeping. Interleaving PeekCounter calls with ReadCounter therefore
+// cannot perturb the deterministic fault sequence. After a dropped read the
+// peeked value may run ahead of the last ReadCounter return; that is the
+// drop semantics surfacing the withheld counts, not a new fault.
+func (f *FaultSource) PeekCounter(core int, ev Event) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	raw := f.peek(core, ev)
+	if core >= len(f.state) {
+		// A core never read through the fault path has no adjustments yet.
+		return raw
+	}
+	st := &f.state[core][ev]
+	return raw + st.offset - st.resetBase
 }

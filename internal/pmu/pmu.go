@@ -64,12 +64,39 @@ type Source interface {
 	ReadCounter(core int, ev Event) uint64
 }
 
+// Peeker is an optional Source refinement: a side-effect-free counter read.
+// Sources that interpose per-read behaviour on ReadCounter — most notably
+// FaultSource, whose seeded fault schedule advances one roll per read —
+// implement Peeker so that observational reads (PMU.Peek, threshold trigger
+// checks) do not perturb the read-sequence-keyed state. Sources without
+// per-read state need not implement it; resolvePeeker falls back to
+// ReadCounter, which is already side-effect-free for them.
+type Peeker interface {
+	// PeekCounter returns the same cumulative count ReadCounter would,
+	// without consuming any per-read schedule or mutating source state.
+	PeekCounter(core int, ev Event) uint64
+}
+
+// peekFunc is a resolved side-effect-free read path for one source.
+type peekFunc func(core int, ev Event) uint64
+
+// resolvePeeker returns src's side-effect-free read path: PeekCounter when
+// the source implements Peeker, plain ReadCounter otherwise. Resolved once
+// at construction so hot-path reads carry no type assertion.
+func resolvePeeker(src Source) peekFunc {
+	if pk, ok := src.(Peeker); ok {
+		return pk.PeekCounter
+	}
+	return src.ReadCounter
+}
+
 // PMU is one core's programmed counter set with read-and-restart sampling
 // semantics: ReadDelta returns the count accumulated since the previous
 // ReadDelta (or since Arm), exactly like reading and zeroing a hardware
 // counter each sampling period.
 type PMU struct {
 	src  Source
+	peek peekFunc
 	core int
 	last [numEvents]uint64
 }
@@ -77,7 +104,7 @@ type PMU struct {
 // New returns a PMU view over core's counters, armed at the source's
 // current counts (so the first ReadDelta covers only the first period).
 func New(src Source, core int) *PMU {
-	p := &PMU{src: src, core: core}
+	p := &PMU{src: src, peek: resolvePeeker(src), core: core}
 	p.Arm()
 	return p
 }
@@ -119,8 +146,12 @@ func (p *PMU) ReadDelta(ev Event) uint64 {
 // restarting the counter. Like ReadDelta it reports 0 (rather than an
 // underflow) when the source has regressed below the armed base; the base
 // is left untouched, so the next ReadDelta performs the re-arm.
+//
+// Peek is fault-transparent: it reads through the source's Peeker path when
+// available, so interleaving Peeks with ReadDeltas cannot advance a seeded
+// FaultSource's schedule or double-apply a per-read fault to one period.
 func (p *PMU) Peek(ev Event) uint64 {
-	cur := p.src.ReadCounter(p.core, ev)
+	cur := p.peek(p.core, ev)
 	if cur < p.last[ev] {
 		return 0
 	}
@@ -175,8 +206,18 @@ func (s *Sampler) Probe() Sample {
 	return sm
 }
 
-// History returns the recorded samples (nil unless recording).
-func (s *Sampler) History() []Sample { return s.history }
+// History returns a copy of the recorded samples (nil unless recording).
+// Copying keeps callers from mutating recorded history or aliasing the
+// backing array a later Probe may append into; this is the cold export
+// path, so the allocation is acceptable.
+func (s *Sampler) History() []Sample {
+	if s.history == nil {
+		return nil
+	}
+	out := make([]Sample, len(s.history))
+	copy(out, s.history)
+	return out
+}
 
 // Series extracts one event's per-period values from the recorded history.
 func (s *Sampler) Series(ev Event) []float64 {

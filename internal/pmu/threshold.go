@@ -1,0 +1,135 @@
+package pmu
+
+import (
+	"fmt"
+
+	"caer/internal/telemetry"
+)
+
+// ThresholdConfig parameterises a Threshold trigger.
+type ThresholdConfig struct {
+	// Event is the counted hardware event (LLC misses for contention
+	// onset).
+	Event Event
+	// Bound is the windowed delta sum at or above which the trigger fires.
+	Bound uint64
+	// Window is the sliding-window length in checks (one check per
+	// sampling period): the trigger fires when the event count accumulated
+	// over the last Window checks reaches Bound.
+	Window int
+}
+
+// Validate reports the first configuration error, or nil.
+func (c ThresholdConfig) Validate() error {
+	switch {
+	case c.Event < 0 || c.Event >= numEvents:
+		return fmt.Errorf("pmu: threshold event %d out of range", int(c.Event))
+	case c.Bound == 0:
+		return fmt.Errorf("pmu: threshold bound must be positive")
+	case c.Window <= 0:
+		return fmt.Errorf("pmu: threshold window %d must be positive", c.Window)
+	}
+	return nil
+}
+
+// Threshold models a counter-overflow interrupt line: arm it at the current
+// count, check it once per period, and it fires when the event deltas
+// accumulated over a sliding window cross the bound. It is the hardware
+// mechanism behind the event-driven detection mode — the engine sleeps
+// between checks instead of running the full probe/publish/detect pipeline,
+// and wakes only when the trigger fires (related work: mc-linux's
+// interrupt-driven detection, 2-13x faster than polling at equal overhead).
+//
+// Reads go through the source's Peeker path when available, so checking a
+// trigger never consumes a FaultSource's seeded schedule: only real probes
+// (ReadDelta) advance it. Check is allocation-free; the ring is sized at
+// construction.
+type Threshold struct {
+	read  peekFunc
+	core  int
+	event Event
+	bound uint64
+
+	ring  []uint64 // last Window per-check deltas
+	idx   int
+	sum   uint64
+	last  uint64
+	armed bool
+	fires uint64
+}
+
+// NewThreshold programs a trigger over src's counter on core. It panics on
+// an invalid configuration (deployment wiring errors should be loud).
+func NewThreshold(src Source, core int, cfg ThresholdConfig) *Threshold {
+	if src == nil {
+		panic("pmu: threshold needs a source")
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &Threshold{
+		read:  resolvePeeker(src),
+		core:  core,
+		event: cfg.Event,
+		bound: cfg.Bound,
+		ring:  make([]uint64, cfg.Window),
+	}
+}
+
+// Core returns the monitored core.
+func (t *Threshold) Core() int { return t.core }
+
+// Event returns the counted event.
+func (t *Threshold) Event() Event { return t.event }
+
+// Bound returns the firing bound.
+func (t *Threshold) Bound() uint64 { return t.bound }
+
+// Armed reports whether the trigger is armed (it disarms itself on fire).
+func (t *Threshold) Armed() bool { return t.armed }
+
+// Fires returns how many times the trigger has fired since construction.
+func (t *Threshold) Fires() uint64 { return t.fires }
+
+// Arm (re)bases the trigger at the counter's current value and clears the
+// window, so only counts accumulated from now on can fire it.
+func (t *Threshold) Arm() {
+	t.last = t.read(t.core, t.event)
+	for i := range t.ring {
+		t.ring[i] = 0
+	}
+	t.idx = 0
+	t.sum = 0
+	t.armed = true
+}
+
+// Check performs one periodic trigger evaluation: read the counter, push
+// the delta since the previous check into the sliding window, and fire
+// (disarm, return true) when the window sum reaches the bound. A regressed
+// counter (reset fault under the trigger) contributes a zero delta and
+// rebases, mirroring PMU.ReadDelta's underflow hardening. Checking a
+// disarmed trigger is a no-op returning false.
+func (t *Threshold) Check() bool {
+	if !t.armed {
+		return false
+	}
+	cur := t.read(t.core, t.event)
+	var d uint64
+	if cur >= t.last {
+		d = cur - t.last
+	}
+	t.last = cur
+	t.sum += d - t.ring[t.idx]
+	t.ring[t.idx] = d
+	t.idx++
+	if t.idx == len(t.ring) {
+		t.idx = 0
+	}
+	if t.sum >= t.bound {
+		t.armed = false
+		t.fires++
+		telemetry.PMUTriggerFires.Inc()
+		return true
+	}
+	return false
+}

@@ -187,6 +187,10 @@ type Result struct {
 	// Relaunches counts batch restarts.
 	Relaunches int
 
+	// Sampling is the runtime's probe-schedule accounting (CAER runs
+	// only): which mode ran and how many probe periods it spent or shed.
+	Sampling caer.SamplingStats
+
 	// BatchResults breaks the batch-side outcome down per application: one
 	// entry per batch core (native/CAER modes, placement order) or per
 	// submitted job (scheduled mode, submission order). Empty in ModeAlone.
@@ -403,6 +407,7 @@ func runCAER(s Scenario) Result {
 	}
 	res.DecisionLog = res.EngineLogs[0]
 	res.Relaunches = rt.Relaunches()
+	res.Sampling = rt.SamplingStats()
 	perBatch := rt.BatchRelaunches()
 	for i, eng := range rt.Engines() {
 		st := eng.Stats()

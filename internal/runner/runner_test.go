@@ -122,6 +122,37 @@ func TestRunCAERQuietPairKeepsBatchRunning(t *testing.T) {
 	}
 }
 
+// TestRunCAERSamplingStats: the result carries the probe-schedule
+// accounting, and an adaptive scenario on a quiet pair sheds probes.
+func TestRunCAERSamplingStats(t *testing.T) {
+	lat := fastProfile(t, "namd", 2_000_000)
+	cfg := caer.DefaultConfig()
+	r := Run(Scenario{Latency: lat, Mode: ModeCAER, Heuristic: caer.HeuristicRule, Seed: 1, Config: cfg})
+	if r.Sampling.Mode != caer.SamplingPolling {
+		t.Fatalf("default scenario sampled in %v mode, want polling", r.Sampling.Mode)
+	}
+	if r.Sampling.ProbePeriods != r.Periods || r.Sampling.SkippedPeriods != 0 {
+		t.Fatalf("polling probes/skips = %d/%d over %d periods",
+			r.Sampling.ProbePeriods, r.Sampling.SkippedPeriods, r.Periods)
+	}
+
+	cfg.Sampling = caer.SamplingAdaptive
+	ra := Run(Scenario{Latency: lat, Mode: ModeCAER, Heuristic: caer.HeuristicRule, Seed: 1, Config: cfg})
+	if !ra.Completed {
+		t.Fatal("adaptive run did not complete")
+	}
+	if ra.Sampling.Mode != caer.SamplingAdaptive {
+		t.Fatalf("adaptive scenario reported %v mode", ra.Sampling.Mode)
+	}
+	if ra.Sampling.SkippedPeriods == 0 {
+		t.Error("adaptive run on a quiet pair skipped no probes")
+	}
+	if got := ra.Sampling.ProbePeriods + ra.Sampling.SkippedPeriods; got != ra.Periods {
+		t.Errorf("probes %d + skips %d != %d periods",
+			ra.Sampling.ProbePeriods, ra.Sampling.SkippedPeriods, ra.Periods)
+	}
+}
+
 func TestRunBatchRelaunches(t *testing.T) {
 	lat := fastProfile(t, "namd", 600_000)
 	small := spec.LBM()

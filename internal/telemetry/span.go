@@ -36,6 +36,15 @@ const (
 	// SpanJob is a scheduled job's residency, admission to completion
 	// (value = number of migrations).
 	SpanJob
+	// SpanArmed is an interrupt-mode sleep stretch: the engine skipped the
+	// probe pipeline while a threshold trigger stood watch. Unlike the
+	// engine-tick-clocked kinds above it is stamped in machine periods —
+	// engine ticks do not advance while the engine sleeps (value 1 = the
+	// stretch ended in a trigger fire, 0 = a keepalive probe woke it).
+	SpanArmed
+	// SpanFired marks the machine period a threshold trigger fired (value =
+	// how many triggers fired that period).
+	SpanFired
 	numSpanKinds
 )
 
@@ -58,6 +67,10 @@ func (k SpanKind) String() string {
 		return "queued"
 	case SpanJob:
 		return "job"
+	case SpanArmed:
+		return "armed"
+	case SpanFired:
+		return "fired"
 	default:
 		return fmt.Sprintf("SpanKind(%d)", int(k))
 	}

@@ -28,6 +28,11 @@ var (
 	PMURearms = defaultRegistry.Counter("caer_pmu_rearms_total", "PMU re-arms after a regressing (reset/wrapped) raw counter")
 	PMUProbes = defaultRegistry.Counter("caer_pmu_probes_total", "per-period sampler sweeps across all PMU events")
 
+	// Sampling modes: probes skipped by the adaptive/interrupt controllers
+	// and threshold-trigger fires (the event-driven wakeups).
+	PMUProbesSkipped = defaultRegistry.Counter("caer_pmu_probes_skipped_total", "per-period probes skipped by the sampling controller (adaptive/interrupt modes)")
+	PMUTriggerFires  = defaultRegistry.Counter("caer_pmu_trigger_fires_total", "threshold-interrupt trigger fires (event-driven wakeups)")
+
 	PMUFaultResets  = defaultRegistry.Counter("caer_pmu_faults_total", "injected PMU faults by class", "class", "reset")
 	PMUFaultSpikes  = defaultRegistry.Counter("caer_pmu_faults_total", "injected PMU faults by class", "class", "spike")
 	PMUFaultDrops   = defaultRegistry.Counter("caer_pmu_faults_total", "injected PMU faults by class", "class", "drop")
@@ -50,6 +55,8 @@ var (
 	EngineWatchdogTrips     = defaultRegistry.Counter("caer_engine_watchdog_trips_total", "watchdog trips into degraded fail-open mode")
 	EngineDegradedTicks     = defaultRegistry.Counter("caer_engine_degraded_ticks_total", "engine ticks spent in degraded fail-open mode")
 	EngineLogDropped        = defaultRegistry.Counter("caer_engine_log_dropped_total", "event-log entries evicted by the bounded ring")
+	EngineMode              = defaultRegistry.Gauge("caer_engine_mode", "sampling mode of the most recently started runtime (0 polling, 1 adaptive, 2 interrupt)")
+	SamplingInterval        = defaultRegistry.Gauge("caer_sampling_interval", "current probe interval of the most recently probing runtime, in periods")
 
 	// sched: placement, admission, and migration decisions.
 	SchedAdmissions     = defaultRegistry.Counter("caer_sched_admissions_total", "jobs admitted from the queue onto cores")
