@@ -22,3 +22,8 @@ vet-json:
 .PHONY: bench
 bench:
 	go test -bench=. -benchmem ./...
+
+# Fleet regime gate at full scale (DESIGN.md §14; writes BENCH_fleet.json).
+.PHONY: fleet
+fleet:
+	go run ./cmd/caer-bench -fleet

@@ -47,6 +47,13 @@ rm -f BENCH_sampling.json
 # Prometheus snapshot whose core metric families are present and non-empty.
 go run ./cmd/caer-bench -sched -quick -telemetry-out TELEMETRY_snapshot.txt > /dev/null
 rm -f BENCH_sched.json
+# Fleet gate: the cluster-level placement regimes (DESIGN.md §14) in short
+# mode — least-pressure cross-machine placement must strictly beat
+# round-robin on the sensitive service's p99 request latency at equal
+# admitted throughput, and the BENCH_fleet.json artifact must be written.
+go run ./cmd/caer-bench -fleet -quick > /dev/null
+test -s BENCH_fleet.json
+rm -f BENCH_fleet.json
 for fam in caer_pmu_reads_total caer_comm_publishes_total \
            caer_engine_ticks_total caer_engine_verdicts_total \
            caer_sched_admissions_total caer_telemetry_ops_total; do

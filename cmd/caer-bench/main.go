@@ -8,7 +8,7 @@
 //	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
-//	           [-chaos] [-sched] [-sampling] [-perf] [-workers N]
+//	           [-chaos] [-sched] [-sampling] [-perf] [-fleet] [-workers N]
 //	           [-telemetry addr] [-telemetry-out FILE]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
@@ -34,6 +34,16 @@
 // spend strictly fewer probes than polling, and writes the sweep as
 // machine-readable BENCH_sampling.json (into -csv DIR when given, else
 // the working directory). Skips figures unless -fig is set explicitly.
+//
+// -fleet runs the fleet regime suite (DESIGN.md §14): a heterogeneous
+// 4-machine cluster — two small machines hosting a sensitive mcf open-loop
+// service, two large ones an insensitive namd service — fed an identical
+// seeded diurnal, lbm-heavy traffic schedule under each cross-machine
+// placement policy. It exits non-zero unless least-pressure placement
+// strictly beats round-robin on the sensitive service's p99 request latency
+// at equal admitted throughput, and writes the comparison as
+// machine-readable BENCH_fleet.json (into -csv DIR when given, else the
+// working directory). Skips figures unless -fig is set explicitly.
 //
 // -perf runs the performance baseline suite (DESIGN.md §11): ns/op for each
 // stage of the per-period pipeline (cache step, hierarchy access, PMU probe,
@@ -70,8 +80,9 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection regime suite (skips figures unless -fig is set explicitly)")
 	schedFlag := flag.Bool("sched", false, "run the scheduler regime suite and write BENCH_sched.json (skips figures unless -fig is set explicitly)")
 	samplingFlag := flag.Bool("sampling", false, "run the sampling-mode sweep and write BENCH_sampling.json (skips figures unless -fig is set explicitly)")
+	fleetFlag := flag.Bool("fleet", false, "run the fleet regime suite and write BENCH_fleet.json (skips figures unless -fig is set explicitly)")
 	perfFlag := flag.Bool("perf", false, "run the performance baseline suite and write BENCH_perf.json (skips figures unless -fig is set explicitly)")
-	workers := flag.Int("workers", 4, "domain-stepper worker pool size for -perf parallel measurements and -sched")
+	workers := flag.Int("workers", 4, "domain-stepper worker pool size for -perf parallel measurements, -sched, and -fleet")
 	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
 	telemetryOut := flag.String("telemetry-out", "", "write a Prometheus-text telemetry snapshot to this file after the run")
 	flag.Parse()
@@ -106,7 +117,7 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	if (*chaos || *schedFlag || *perfFlag || *samplingFlag) && !figSetExplicitly {
+	if (*chaos || *schedFlag || *perfFlag || *samplingFlag || *fleetFlag) && !figSetExplicitly {
 		want = map[string]bool{}
 	}
 	all := want["all"]
@@ -293,6 +304,30 @@ func main() {
 			fatalf("create %s: %v", path, err)
 		}
 		if err := sweep.WriteJSON(fh); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fh.Close()
+		fmt.Fprintf(out, "[wrote %s]\n", path)
+	}
+	if *fleetFlag {
+		fmt.Fprintf(out, "\n")
+		regime := experiments.FleetSuiteWorkers(*seed, *quick, *workers)
+		if err := regime.Render(out); err != nil {
+			fatalf("render fleet regimes: %v", err)
+		}
+		if err := regime.Check(); err != nil {
+			fatalf("fleet gate violation: %v", err)
+		}
+		fmt.Fprintf(out, "fleet gate holds: least-pressure beats round-robin on sensitive-service p99 at equal admitted throughput\n")
+		path := "BENCH_fleet.json"
+		if *csvDir != "" {
+			path = filepath.Join(*csvDir, path)
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		if err := regime.WriteJSON(fh); err != nil {
 			fatalf("write %s: %v", path, err)
 		}
 		fh.Close()

@@ -1,0 +1,211 @@
+// Command caer-fleet runs the cluster-level contention-aware scheduling
+// stack (DESIGN.md §14): N simulated machines — the first half hosting a
+// latency-sensitive open-loop service, the rest an insensitive background
+// one — fed a seeded open-loop traffic schedule, with a pluggable
+// cross-machine placement policy deciding which machine each job lands on.
+// It prints the fleet throughput, the cluster-wide job queueing
+// distributions, and every latency app's QoS at p50/p99, plus the merged
+// fleet-wide distribution of the sensitive service class.
+//
+// Usage:
+//
+//	caer-fleet [-machines N] [-policy rr|lp|packed] [-jobs lbm,lbm,povray,lbm]
+//	           [-curve constant|diurnal|burst] [-rate F] [-horizon N]
+//	           [-sensitive mcf] [-background namd] [-migrate N]
+//	           [-usage-thresh N] [-periods N] [-seed N] [-workers N] [-quick]
+//	           [-serve addr] [-metrics-out FILE] [-trace FILE]
+//
+// Examples:
+//
+//	caer-fleet -quick
+//	caer-fleet -policy rr -curve burst -rate 0.05
+//	caer-fleet -machines 8 -migrate 50 -serve :6060
+//
+// -serve exposes the merged fleet telemetry (/metrics with machine labels,
+// /trace with per-machine lane prefixes) while the run executes;
+// -metrics-out writes one final Prometheus snapshot and -trace one shared
+// Chrome trace covering every machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"caer/internal/caer"
+	"caer/internal/fleet"
+	"caer/internal/sched"
+	"caer/internal/spec"
+	"caer/internal/telemetry"
+)
+
+func main() {
+	machines := flag.Int("machines", 4, "cluster size; the first half are sensitive machines, the rest background")
+	policy := flag.String("policy", "lp", "cross-machine placement policy: rr (round-robin), lp (least-pressure), packed")
+	jobsCSV := flag.String("jobs", "lbm,lbm,povray,lbm", "comma-separated batch job mix the traffic driver cycles through")
+	curveName := flag.String("curve", "diurnal", "open-loop arrival curve: constant, diurnal, burst")
+	rate := flag.Float64("rate", 0.033, "mean arrivals per period at the curve's reference level")
+	horizon := flag.Int("horizon", 4000, "periods over which arrivals are generated")
+	sensitive := flag.String("sensitive", "mcf", "latency-critical open-loop service on the sensitive machines")
+	background := flag.String("background", "namd", "insensitive open-loop service on the background machines")
+	migrate := flag.Int("migrate", 0, "evaluate one cross-machine migration every N periods (0 = off)")
+	usageThresh := flag.Float64("usage-thresh", 800, "per-machine rule-heuristic usage threshold (the §6.2 tuning frontier)")
+	jobInstr := flag.Uint64("job-instr", 400_000, "instruction count for each batch job")
+	svcInstr := flag.Uint64("svc-instr", 1_000_000, "instruction count for one service request")
+	periods := flag.Int("periods", 400_000, "hard period bound on the run")
+	seed := flag.Int64("seed", 1, "seed for the traffic driver and every process")
+	workers := flag.Int("workers", 1, "per-machine domain-stepper worker pool size (bit-identical at any size)")
+	quick := flag.Bool("quick", false, "shrink instructions 4x and raise the rate to match for a fast smoke run")
+	serveAddr := flag.String("serve", "", "serve merged fleet telemetry (/metrics, /trace) on this address, e.g. :6060")
+	metricsOut := flag.String("metrics-out", "", "write one final Prometheus snapshot of the whole fleet to this file")
+	traceOut := flag.String("trace", "", "write the shared Chrome trace (per-machine lanes) to this file")
+	flag.Parse()
+
+	var pol fleet.Policy
+	switch *policy {
+	case "rr", "round-robin":
+		pol = fleet.PolicyRoundRobin
+	case "lp", "least-pressure", "ca":
+		pol = fleet.PolicyLeastPressure
+	case "packed":
+		pol = fleet.PolicyPacked
+	default:
+		fatalf("unknown policy %q (want rr, lp, or packed)", *policy)
+	}
+	var curve fleet.Curve
+	switch *curveName {
+	case "constant":
+		curve = fleet.CurveConstant
+	case "diurnal":
+		curve = fleet.CurveDiurnal
+	case "burst":
+		curve = fleet.CurveBurst
+	default:
+		fatalf("unknown curve %q (want constant, diurnal, or burst)", *curveName)
+	}
+	if *machines < 1 {
+		fatalf("need at least one machine")
+	}
+
+	sens := mustProfile(*sensitive)
+	back := mustProfile(*background)
+	var mix []spec.Profile
+	for _, n := range strings.Split(*jobsCSV, ",") {
+		p := mustProfile(strings.TrimSpace(n))
+		p.Exec.Instructions = *jobInstr
+		mix = append(mix, p)
+	}
+	sens.Exec.Instructions = *svcInstr
+	back.Exec.Instructions = *svcInstr
+	traffic := fleet.Traffic{Curve: curve, Rate: *rate, Horizon: *horizon, Mix: mix}
+	if *quick {
+		// Scale-invariant shrink, as in the caer-bench fleet suite: every
+		// job 4x shorter, arrivals 4x denser over a 4x shorter horizon.
+		sens.Exec.Instructions /= 4
+		back.Exec.Instructions /= 4
+		for i := range mix {
+			mix[i].Exec.Instructions /= 4
+		}
+		traffic.Rate *= 4
+		traffic.Horizon /= 4
+	}
+
+	// Heterogeneous topology, as in the caer-bench fleet suite: sensitive
+	// machines are small (4 cores over 2 LLC domains), background machines
+	// big (8 cores over 2 domains), so placement — not per-machine response
+	// — decides whether aggressors land next to the service.
+	nSens := (*machines + 1) / 2
+	specs := make([]fleet.MachineSpec, *machines)
+	for k := range specs {
+		svc := fleet.Service{Profile: sens, Core: 0, Relaunch: true}
+		specs[k] = fleet.MachineSpec{Cores: 4, Domains: 2, Workers: *workers, Services: []fleet.Service{svc}}
+		if k >= nSens {
+			svc.Profile = back
+			specs[k] = fleet.MachineSpec{Cores: 8, Domains: 2, Workers: *workers, Services: []fleet.Service{svc}}
+		}
+	}
+
+	caerCfg := caer.DefaultConfig()
+	caerCfg.UsageThresh = *usageThresh
+	c := fleet.New(fleet.Config{
+		Machines: specs,
+		Sched: sched.Config{
+			Policy:         sched.PolicyContentionAware,
+			Heuristic:      caer.HeuristicRule,
+			Caer:           caerCfg,
+			PressureScale:  caer.DefaultConfig().UsageThresh,
+			AdmitThreshold: 100,
+		},
+		Policy:        pol,
+		Traffic:       traffic,
+		Seed:          *seed,
+		MigratePeriod: *migrate,
+		MaxPeriods:    *periods,
+	})
+
+	if *serveAddr != "" {
+		ln, err := c.ServeTelemetry(*serveAddr)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "[telemetry: merged fleet /metrics and /trace on %s]\n", *serveAddr)
+	}
+
+	fmt.Printf("caer-fleet: %d machines (%d x %s sensitive, %d x %s background), %s policy, %s traffic rate %.3f over %d periods\n\n",
+		*machines, nSens, spec.ShortName(sens.Name),
+		*machines-nSens, spec.ShortName(back.Name),
+		pol, curve, traffic.Rate, traffic.Horizon)
+
+	c.Run()
+	rep := c.Report()
+	if err := rep.Render(os.Stdout); err != nil {
+		fatalf("render: %v", err)
+	}
+	lat := rep.MergedLatency(spec.ShortName(sens.Name))
+	if lat.N() > 0 {
+		fmt.Printf("fleet-wide %s QoS: %d requests, p50 %.0f p99 %.0f periods\n",
+			spec.ShortName(sens.Name), lat.N(), lat.Quantile(0.5), lat.Quantile(0.99))
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("create %s: %v", *metricsOut, err)
+		}
+		if err := c.WriteMetrics(f); err != nil {
+			fatalf("write metrics: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("create %s: %v", *traceOut, err)
+		}
+		if err := telemetry.DefaultSpans.WriteChrome(f); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *traceOut)
+	}
+	if rep.Completed != rep.Arrivals {
+		fatalf("fleet did not drain: %d of %d jobs completed within %d periods",
+			rep.Completed, rep.Arrivals, *periods)
+	}
+}
+
+func mustProfile(name string) spec.Profile {
+	p, ok := spec.ByName(name)
+	if !ok {
+		fatalf("unknown benchmark %q", name)
+	}
+	return p
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "caer-fleet: "+format+"\n", args...)
+	os.Exit(1)
+}

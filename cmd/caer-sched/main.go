@@ -120,6 +120,8 @@ func main() {
 			detail = fmt.Sprintf("domain %d -> %d (core %d)", d.From, d.To, d.Core)
 		case sched.DecisionComplete:
 			detail = fmt.Sprintf("freed domain %d core %d", d.From, d.Core)
+		case sched.DecisionWithdraw:
+			detail = fmt.Sprintf("withdrawn after waiting %d (%d queued)", d.Waited, d.Queued)
 		default:
 			detail = "?"
 		}

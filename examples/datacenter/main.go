@@ -1,11 +1,14 @@
-// Datacenter: the paper's motivating scenario. A web-search-like
-// latency-sensitive service shares a four-core chip with batch analytics
-// jobs (the Figure 4 design vision: two latency-sensitive applications, two
-// batch applications, cooperating CAER layers).
-//
-// The search service is modelled as a custom workload: a hot in-memory
-// index shard with scattered posting-list lookups that need a large slice
-// of the shared cache. The analytics jobs are lbm-like scanners.
+// Datacenter: the paper's motivating scenario at fleet scale. The abstract
+// opens with latency-sensitive applications spread over thousands of
+// servers whose owners refuse co-location; fleet mode (DESIGN.md §14) is
+// that setting in miniature. A four-machine cluster hosts web-search-like
+// shard services on two small front-end machines and an insensitive
+// aggregator on two big back-end machines, while a diurnal stream of batch
+// analytics jobs arrives at the cluster's admission queue. The decision
+// that shapes the search tail is *which machine* each job lands on: blind
+// round-robin placement rotates analytics onto the search machines at
+// peak, least-pressure placement reads every machine's classifier summary
+// and steers them to the back-ends.
 //
 //	go run ./examples/datacenter
 package main
@@ -13,84 +16,115 @@ package main
 import (
 	"fmt"
 
-	"caer"
+	"caer/internal/caer"
+	"caer/internal/fleet"
+	"caer/internal/machine"
+	"caer/internal/sched"
+	"caer/internal/spec"
 	"caer/internal/workload"
 )
 
-// newSearchService builds a web-search-like process: 60% of references hit
-// a hot query-processing core, 40% scatter across an index shard that wants
-// most of the shared cache.
-func newSearchService(name string, base uint64, seed int64) *caer.Process {
-	// The two shards are sized to coexist in the shared cache (2×2560 of
-	// 8192 lines); the marginal contention comes from the analytics jobs,
-	// which is the contention CAER can actually remove.
-	gen := workload.NewHotCold(
-		workload.NewUniform(base, 640, 0.05),        // query/scoring state
-		workload.NewUniform(base+1<<22, 2560, 0.02), // index shard
-		0.6)
-	return caer.NewProcess(name,
-		caer.ExecProfile{MemFraction: 0.35, BaseCPI: 0.8, Instructions: 2_500_000},
-		gen, seed)
+// searchProfile is a web-search-like service request: 30% of references
+// hit a hot query-processing core, 70% scatter across an index shard that
+// needs most of the shared L3 — the paper's Sensitive class, so an
+// analytics scanner beside it evicts exactly the lines the next posting
+// lookup needs.
+var searchProfile = spec.Profile{
+	Name:  "search",
+	Class: spec.Sensitive,
+	Exec:  machine.ExecProfile{MemFraction: 0.45, BaseCPI: 0.8, Instructions: 250_000},
+	NewGen: func(base uint64, seed int64) workload.Generator {
+		return workload.NewHotCold(
+			workload.NewUniform(base, 640, 0.1),         // query/scoring state
+			workload.NewUniform(base+1<<22, 5120, 0.05), // index shard
+			0.3)
+	},
 }
 
-func newAnalyticsJob(name string, base uint64, seed int64) *caer.Process {
-	// A log-scanning job: streams far more data than the cache holds.
-	gen := workload.NewStream(base, 24576, 1, 0.25)
-	return caer.NewProcess(name,
-		caer.ExecProfile{MemFraction: 0.4, BaseCPI: 0.7}, // endless service
-		gen, seed)
+// aggregatorProfile is the back-end machines' resident service: a result
+// aggregator whose working set fits the private caches, so analytics
+// running beside it costs nearly nothing — the capacity the fleet placer
+// should exploit.
+var aggregatorProfile = spec.Profile{
+	Name:  "aggregator",
+	Class: spec.Insensitive,
+	Exec:  machine.ExecProfile{MemFraction: 0.25, BaseCPI: 0.8, Instructions: 250_000},
+	NewGen: func(base uint64, seed int64) workload.Generator {
+		return workload.NewUniform(base, 512, 0.1)
+	},
 }
 
-func run(managed bool) (periods uint64, batchInstr uint64, duty float64) {
-	m := caer.NewMachine(caer.MachineConfig{Cores: 4})
-	search1 := newSearchService("search-1", 0, 1)
-	search2 := newSearchService("search-2", 1<<26, 2)
+// analyticsProfile is a log-scanning batch job: streams far more data than
+// any cache holds, the lbm-like adversary of Figure 1.
+var analyticsProfile = spec.Profile{
+	Name:  "analytics",
+	Class: spec.Sensitive,
+	Exec:  machine.ExecProfile{MemFraction: 0.4, BaseCPI: 0.7, Instructions: 100_000},
+	NewGen: func(base uint64, seed int64) workload.Generator {
+		return workload.NewStream(base, 24576, 1, 0.25)
+	},
+}
 
-	if !managed {
-		m.Bind(0, search1)
-		m.Bind(1, search2)
-		m.Bind(2, newAnalyticsJob("scan-1", 1<<27, 3))
-		m.Bind(3, newAnalyticsJob("scan-2", 1<<28, 4))
-		for !search1.Done() || !search2.Done() {
-			m.RunPeriod()
+// run executes the same cluster and traffic schedule under one placement
+// policy and returns the report plus the merged search QoS distribution.
+func run(policy fleet.Policy) (fleet.Report, float64, float64) {
+	// Two small front-end machines (4 cores, 2 LLC domains) pin a search
+	// shard each; two big back-end machines (8 cores) pin the aggregator.
+	specs := make([]fleet.MachineSpec, 4)
+	for k := range specs {
+		svc := fleet.Service{Profile: searchProfile, Core: 0, Relaunch: true}
+		specs[k] = fleet.MachineSpec{Cores: 4, Domains: 2, Services: []fleet.Service{svc}}
+		if k >= 2 {
+			svc.Profile = aggregatorProfile
+			specs[k] = fleet.MachineSpec{Cores: 8, Domains: 2, Services: []fleet.Service{svc}}
 		}
-		return m.Periods(),
-			m.Core(2).Process().Retired() + m.Core(3).Process().Retired(),
-			(m.Core(2).Utilization() + m.Core(3).Utilization()) / 2
 	}
 
-	rt := caer.NewRuntime(m, caer.HeuristicRule, caer.DefaultConfig())
-	rt.AddLatency("search-1", 0, search1)
-	rt.AddLatency("search-2", 1, search2)
-	rt.AddBatch("scan-1", 2, newAnalyticsJob("scan-1", 1<<27, 3))
-	rt.AddBatch("scan-2", 3, newAnalyticsJob("scan-2", 1<<28, 4))
-	rt.RunUntil(func() bool { return search1.Done() && search2.Done() }, 1_000_000)
-	var instr uint64
-	for _, p := range rt.BatchProcesses() {
-		instr += p.Retired()
-	}
-	return m.Periods(), instr, (m.Core(2).Utilization() + m.Core(3).Utilization()) / 2
+	// Per-machine engines sit at the batch-favouring end of the rule
+	// tuning frontier and admission is capacity-driven (as in the
+	// caer-bench fleet suite): the search tail is decided by placement,
+	// which is the layer this example demonstrates.
+	caerCfg := caer.DefaultConfig()
+	caerCfg.UsageThresh = 800
+	c := fleet.New(fleet.Config{
+		Machines: specs,
+		Sched: sched.Config{
+			Policy:         sched.PolicyContentionAware,
+			Heuristic:      caer.HeuristicRule,
+			Caer:           caerCfg,
+			PressureScale:  caer.DefaultConfig().UsageThresh,
+			AdmitThreshold: 100,
+		},
+		Policy: policy,
+		Traffic: fleet.Traffic{
+			Curve:   fleet.CurveDiurnal,
+			Rate:    0.132,
+			Horizon: 1000,
+			Mix:     []spec.Profile{analyticsProfile, analyticsProfile, analyticsProfile},
+		},
+		Seed:       1,
+		MaxPeriods: 100_000,
+	})
+	c.Run()
+	rep := c.Report()
+	lat := rep.MergedLatency("search")
+	return rep, lat.Quantile(0.5), lat.Quantile(0.99)
 }
 
 func main() {
-	// Baseline: the two search shards alone on the chip (disallowed
-	// co-location, the common datacenter policy).
-	m := caer.NewMachine(caer.MachineConfig{Cores: 4})
-	s1, s2 := newSearchService("search-1", 0, 1), newSearchService("search-2", 1<<26, 2)
-	m.Bind(0, s1)
-	m.Bind(1, s2)
-	for !s1.Done() || !s2.Done() {
-		m.RunPeriod()
+	fmt.Println("four-machine cluster: 2x front-end (search shard) + 2x back-end (aggregator)")
+	fmt.Println("diurnal analytics traffic through the fleet admission queue")
+	fmt.Println()
+	for _, pol := range []fleet.Policy{fleet.PolicyRoundRobin, fleet.PolicyLeastPressure} {
+		rep, p50, p99 := run(pol)
+		perMachine := make([]int, 0, len(rep.Nodes))
+		for _, n := range rep.Nodes {
+			perMachine = append(perMachine, n.Dispatches)
+		}
+		fmt.Printf("  %-14s %d/%d jobs completed (%.1f jobs/kperiod), search p50 %.0f p99 %.0f periods, dispatches %v\n",
+			pol, rep.Completed, rep.Arrivals, rep.Throughput(), p50, p99, perMachine)
 	}
-	alonePeriods := m.Periods()
-
-	nativePeriods, nativeInstr, nativeDuty := run(false)
-	caerPeriods, caerInstr, caerDuty := run(true)
-
-	fmt.Println("four-core chip: 2x web-search shards + 2x batch analytics")
-	fmt.Printf("  search alone (no co-location):  %5d periods, analytics idle\n", alonePeriods)
-	fmt.Printf("  native co-location:             %5d periods (%.2fx search slowdown), analytics %d instr (duty %.0f%%)\n",
-		nativePeriods, float64(nativePeriods)/float64(alonePeriods), nativeInstr, nativeDuty*100)
-	fmt.Printf("  CAER co-location (rule-based):  %5d periods (%.2fx search slowdown), analytics %d instr (duty %.0f%%)\n",
-		caerPeriods, float64(caerPeriods)/float64(alonePeriods), caerInstr, caerDuty*100)
+	fmt.Println()
+	fmt.Println("same jobs, same arrival schedule: least-pressure placement keeps the")
+	fmt.Println("analytics scanners on the back-end machines and the search tail flat.")
 }

@@ -151,6 +151,30 @@ func DefaultConfig() *Config {
 			"telemetry.SpanRecorder.Record",
 			// Engine span-closing helpers, called from Tick every period.
 			"caer.Engine.recordHoldSpan", "caer.Engine.recordShutterSpan",
+			// Fleet per-period loop (DESIGN.md §14): the cluster tick, the
+			// bounded dispatch scan, the placement-view refresh, the
+			// completion harvest, and the drain check. Arrival
+			// materialization, dispatch commit, migration, and request
+			// relaunch are the documented cold barriers.
+			"fleet.Cluster.Tick", "fleet.Cluster.dispatch",
+			"fleet.Cluster.fillViews", "fleet.Cluster.harvest",
+			"fleet.Cluster.Done",
+			// Cross-machine placers, invoked once per dispatch attempt.
+			"fleet.roundRobinPlacer.Place", "fleet.leastPressurePlacer.Place",
+			"fleet.packedPlacer.Place", "fleet.interferenceScore",
+			"fleet.NodeView.eligible",
+			// Open-loop traffic driver, sampled every fleet tick.
+			"fleet.driver.rate", "fleet.driver.arrivals", "fleet.driver.exhausted",
+			// Fleet admission-queue ring ops on the dispatch path.
+			"fleet.fifo.len", "fleet.fifo.peek", "fleet.fifo.pop",
+			// Scheduler accessors the fleet loop polls every period: the
+			// in-place classifier summary refill and the per-job state
+			// reads behind harvest.
+			"sched.Scheduler.Summarize", "sched.Scheduler.QueueLen",
+			"sched.Scheduler.JobStateOf", "sched.Scheduler.JobAdmittedPeriod",
+			"sched.Scheduler.AppAggressiveness",
+			// Mergeable-histogram accumulation on the harvest path.
+			"stats.Histogram.Add",
 		},
 		AllocFuncs: []string{
 			"Slot.Samples", "ShmTable.Samples", "Window.Snapshot",
@@ -165,6 +189,7 @@ func DefaultConfig() *Config {
 			"pmu.Event", "runner.Mode", "spec.Sensitivity",
 			"experiments.FaultKind",
 			"sched.Policy", "sched.JobState", "sched.DecisionKind",
+			"fleet.Policy", "fleet.JobState", "fleet.Curve",
 			"telemetry.MetricKind", "telemetry.SpanKind",
 			"analysis.EdgeKind",
 		},
@@ -185,8 +210,16 @@ func DefaultConfig() *Config {
 			// per-period observe/tick/apply loop around them is hot.
 			"sched.Scheduler.admitTo", "sched.Scheduler.finishJobs",
 			"sched.Scheduler.maybeMigrate",
+			// Fleet barriers mirroring sched's one level up: arrival
+			// materializes job records, the dispatch commit registers a comm
+			// slot and names a span track, migration withdraws and
+			// re-dispatches, and the request relaunch reseeds the service
+			// process — all allocating by documented design (fleet.go's
+			// hot/cold split).
+			"fleet.Cluster.arrive", "fleet.Cluster.dispatchTo",
+			"fleet.Cluster.maybeMigrate", "fleet.Cluster.finishRequest",
 		},
-		DeterministicPkgs: []string{"machine", "mem", "sched", "caer"},
+		DeterministicPkgs: []string{"machine", "mem", "sched", "caer", "fleet"},
 		DeterministicFuncs: []string{
 			// Telemetry exporters whose output lands in diffed artifacts.
 			"telemetry.SpanRecorder.ChromeEvents",
@@ -195,6 +228,7 @@ func DefaultConfig() *Config {
 			"experiments.SchedRegime.Table", "experiments.SchedRegime.WriteJSON",
 			"experiments.PerfReport.Table", "experiments.PerfReport.WriteJSON",
 			"experiments.SamplingReport.Table", "experiments.SamplingReport.WriteJSON",
+			"experiments.FleetRegime.Table", "experiments.FleetRegime.WriteJSON",
 			"experiments.marshalComparable",
 		},
 		MetricNames: []string{
@@ -218,6 +252,13 @@ func DefaultConfig() *Config {
 			"caer_runner_periods_total",
 			"caer_telemetry_ops_total", "caer_telemetry_spans_total",
 			"caer_telemetry_spans_dropped_total",
+			"caer_fleet_ticks_total", "caer_fleet_arrivals_total",
+			"caer_fleet_dispatches_total", "caer_fleet_migrations_total",
+			"caer_fleet_completions_total", "caer_fleet_requests_total",
+			"caer_fleet_queue_depth",
+			"caer_fleet_node_dispatches_total", "caer_fleet_node_completions_total",
+			"caer_fleet_node_withdrawals_total", "caer_fleet_node_queue_depth",
+			"caer_fleet_node_sojourn_periods",
 		},
 	}
 }

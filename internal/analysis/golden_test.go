@@ -119,6 +119,7 @@ func TestGoldenTelemetry(t *testing.T) { runGolden(t, "telemetry") }
 func TestGoldenMem(t *testing.T)       { runGolden(t, "mem") }
 func TestGoldenLifecycle(t *testing.T) { runGolden(t, "lifecycle") }
 func TestGoldenTeldisc(t *testing.T)   { runGolden(t, "teldisc") }
+func TestGoldenFleet(t *testing.T)     { runGolden(t, "fleet") }
 
 // TestGoldenSeedsEveryAnalyzer guards the fixtures themselves: each
 // analyzer of the suite must have at least one seeded violation across the
@@ -127,7 +128,7 @@ func TestGoldenSeedsEveryAnalyzer(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ModulePath = "test"
 	hit := make(map[string]int)
-	for _, rel := range []string{"comm", "caer", "pmu", "telemetry", "mem", "lifecycle", "teldisc", "hygiene"} {
+	for _, rel := range []string{"comm", "caer", "pmu", "telemetry", "mem", "lifecycle", "teldisc", "hygiene", "fleet"} {
 		for _, f := range RunAnalyzers(loadTestPkg(t, rel), Analyzers(), cfg) {
 			hit[f.Analyzer]++
 		}

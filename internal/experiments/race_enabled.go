@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The regime
+// suites are 10-20x slower under instrumentation, so tests that re-run a
+// whole suite purely to compare artifacts skip those repeats under -race;
+// the underlying determinism is pinned race-enabled in internal/fleet.
+const raceEnabled = true

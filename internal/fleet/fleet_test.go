@@ -1,0 +1,340 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"caer/internal/caer"
+	"caer/internal/fleet"
+	"caer/internal/runner"
+	"caer/internal/sched"
+	"caer/internal/spec"
+	"caer/internal/telemetry"
+)
+
+func prof(name string, instr uint64) spec.Profile {
+	p, ok := spec.ByName(name)
+	if !ok {
+		panic("unknown profile " + name)
+	}
+	p.Exec.Instructions = instr
+	return p
+}
+
+// identityJobs is the job list shared by the fleet and runner sides of the
+// byte-identity pin: small enough that every job dispatches up front
+// (pre-start free batch cores = 7 on an 8-core machine with one service).
+func identityJobs() []spec.Profile {
+	return []spec.Profile{
+		prof("lbm", 120_000), prof("povray", 120_000),
+		prof("lbm", 120_000), prof("povray", 120_000),
+		prof("lbm", 120_000), prof("povray", 120_000),
+	}
+}
+
+func identitySchedConfig() sched.Config {
+	return sched.Config{
+		Policy:     sched.PolicyContentionAware,
+		Heuristic:  caer.HeuristicRule,
+		Caer:       caer.DefaultConfig(),
+		AgingBound: 200,
+	}
+}
+
+func identityFleet(workers int) fleet.Config {
+	return fleet.Config{
+		Machines: []fleet.MachineSpec{{
+			Cores: 8, Domains: 2, Workers: workers,
+			Services: []fleet.Service{{Profile: prof("mcf", 400_000), Core: 0}},
+		}},
+		Sched:           identitySchedConfig(),
+		Policy:          fleet.PolicyRoundRobin,
+		Traffic:         fleet.Traffic{Curve: fleet.CurveConstant, Rate: 6, Horizon: 1, Mix: identityJobs()},
+		Seed:            42,
+		DispatchPerTick: 16,
+		MaxPeriods:      30_000,
+	}
+}
+
+// mustJSON marshals for byte comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestFleetMatchesRunnerScheduled is the regression pin: a 1-machine fleet
+// fed the whole job list up front must reproduce runner.ModeScheduled
+// byte-for-byte — same decision log, same per-job lifecycle counters, same
+// service completion period — at any worker count.
+func TestFleetMatchesRunnerScheduled(t *testing.T) {
+	res := runner.Run(runner.Scenario{
+		Mode:       runner.ModeScheduled,
+		Latency:    prof("mcf", 400_000),
+		Jobs:       identityJobs(),
+		Heuristic:  caer.HeuristicRule,
+		Seed:       42,
+		Domains:    2,
+		Cores:      8,
+		MaxPeriods: 30_000,
+		Sched:      sched.Config{Policy: sched.PolicyContentionAware, AgingBound: 200},
+	})
+	if !res.Completed {
+		t.Fatal("runner scenario did not complete")
+	}
+	wantDecisions := mustJSON(t, res.SchedDecisions)
+
+	for _, workers := range []int{1, 4} {
+		c := fleet.New(identityFleet(workers))
+		ticks := c.Run()
+		node := c.Nodes()[0]
+
+		if got := mustJSON(t, node.Sched().Decisions()); !bytes.Equal(got, wantDecisions) {
+			t.Fatalf("workers=%d: fleet decision log diverges from runner.ModeScheduled\nfleet:  %s\nrunner: %s",
+				workers, got, wantDecisions)
+		}
+		reports := node.Sched().JobReports()
+		if len(reports) != len(res.BatchResults) {
+			t.Fatalf("workers=%d: %d job reports vs %d runner batch results", workers, len(reports), len(res.BatchResults))
+		}
+		for i, jr := range reports {
+			br := res.BatchResults[i]
+			if jr.Name != br.Name || jr.Core != br.Core || jr.Domain != br.Domain ||
+				jr.Instructions != br.Instructions || jr.Misses != br.Misses ||
+				jr.Waited != br.Waited || jr.Aged != br.Aged ||
+				jr.Admitted != br.Admitted || jr.Done != br.DonePeriod ||
+				jr.Migrations != br.Migrations ||
+				jr.PausedPeriods != br.PausedPeriods || jr.RunPeriods != br.RunPeriods ||
+				jr.CPositive != br.CPositive || jr.CNegative != br.CNegative {
+				t.Errorf("workers=%d: job %d diverges:\nfleet:  %+v\nrunner: %+v", workers, i, jr, br)
+			}
+		}
+		if done := node.Sched().LatencyReports()[0].Done; done != res.Periods {
+			t.Errorf("workers=%d: service completed at period %d, runner at %d", workers, done, res.Periods)
+		}
+		if uint64(ticks) < res.Periods {
+			t.Errorf("workers=%d: fleet ran %d ticks, fewer than the runner's %d periods", workers, ticks, res.Periods)
+		}
+		rep := c.Report()
+		if rep.Completed != res.JobsCompleted || rep.Completed != len(identityJobs()) {
+			t.Errorf("workers=%d: fleet completed %d jobs, runner %d", workers, rep.Completed, res.JobsCompleted)
+		}
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers pins the cluster-level determinism
+// contract on a real multi-machine run: identical Reports (jobs, service
+// QoS, histogram quantiles) at Workers=1 and Workers=4, and across two
+// identical runs.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	cfg := func(workers int) fleet.Config {
+		return fleet.Config{
+			Machines: []fleet.MachineSpec{
+				{Cores: 8, Domains: 2, Workers: workers,
+					Services: []fleet.Service{{Profile: prof("mcf", 60_000), Core: 0, Relaunch: true}}},
+				{Cores: 8, Domains: 2, Workers: workers,
+					Services: []fleet.Service{{Profile: prof("namd", 60_000), Core: 0, Relaunch: true}}},
+			},
+			Sched:  identitySchedConfig(),
+			Policy: fleet.PolicyLeastPressure,
+			Traffic: fleet.Traffic{
+				Curve: fleet.CurveBurst, Rate: 0.6, Horizon: 600, Jitter: 0.3,
+				BurstEvery: 150, BurstLen: 25,
+				Mix: []spec.Profile{prof("lbm", 60_000), prof("povray", 60_000)},
+			},
+			Seed:          7,
+			MigratePeriod: 50,
+			MaxPeriods:    20_000,
+		}
+	}
+	fingerprint := func(workers int) []byte {
+		c := fleet.New(cfg(workers))
+		c.Run()
+		rep := c.Report()
+		var sb strings.Builder
+		sb.Write(mustJSON(t, rep.Jobs))
+		sb.Write(mustJSON(t, rep.Services))
+		for _, n := range c.Nodes() {
+			sb.Write(mustJSON(t, n.Sched().Decisions()))
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			sb.Write(mustJSON(t, []float64{rep.Wait.Quantile(q), rep.Sojourn.Quantile(q)}))
+		}
+		return []byte(sb.String())
+	}
+	base := fingerprint(1)
+	if again := fingerprint(1); !bytes.Equal(base, again) {
+		t.Fatal("two identical Workers=1 runs diverged")
+	}
+	if par := fingerprint(4); !bytes.Equal(base, par) {
+		t.Fatal("Workers=4 run diverged from Workers=1")
+	}
+}
+
+// TestFleetMigrationBounded pins cross-machine migration semantics: packed
+// placement piles jobs onto machine 0, whose two sensitive mcf services
+// make the contention-aware admission veto every lbm — with the aging
+// bound out of reach, fleet migration is the only path off the stuck
+// queue. It must fire, stay under the rate bound, and every migrated job
+// must complete on its new machine.
+func TestFleetMigrationBounded(t *testing.T) {
+	c := fleet.New(fleet.Config{
+		Machines: []fleet.MachineSpec{
+			{Cores: 8, Domains: 2, Services: []fleet.Service{
+				{Profile: prof("mcf", 150_000), Core: 0},
+				{Profile: prof("mcf", 150_000), Core: 4},
+			}},
+			{Cores: 8, Domains: 2, Services: []fleet.Service{{Profile: prof("namd", 150_000), Core: 0}}},
+		},
+		Sched: sched.Config{
+			Policy:     sched.PolicyContentionAware,
+			Heuristic:  caer.HeuristicRule,
+			Caer:       caer.DefaultConfig(),
+			AgingBound: 30_000, // out of reach: migration, not aging, unsticks the queue
+		},
+		Policy: fleet.PolicyPacked,
+		Traffic: fleet.Traffic{
+			Curve: fleet.CurveConstant, Rate: 16, Horizon: 1,
+			Mix: []spec.Profile{prof("lbm", 80_000), prof("povray", 80_000)},
+		},
+		Seed:            3,
+		DispatchPerTick: 32,
+		MigratePeriod:   20,
+		MigrateMargin:   2,
+		MaxPeriods:      40_000,
+	})
+	ticks := c.Run()
+	rep := c.Report()
+	if rep.Completed != rep.Arrivals {
+		t.Fatalf("%d of %d jobs completed", rep.Completed, rep.Arrivals)
+	}
+	if rep.Migrations == 0 {
+		t.Fatal("packed placement under 16 up-front jobs never triggered fleet migration")
+	}
+	if bound := ticks / 20; rep.Migrations > bound {
+		t.Errorf("%d migrations in %d ticks exceeds the rate bound %d", rep.Migrations, ticks, bound)
+	}
+	migrated := 0
+	for _, j := range rep.Jobs {
+		if j.Migrations > 0 {
+			migrated++
+			if j.State != fleet.JobFinished {
+				t.Errorf("migrated job %d ended %v, want finished", j.Index, j.State)
+			}
+			if j.Machine != 1 {
+				t.Errorf("migrated job %d ended on machine %d, want 1", j.Index, j.Machine)
+			}
+		}
+	}
+	if migrated != rep.Migrations {
+		t.Errorf("per-job migration sum %d != cluster count %d", migrated, rep.Migrations)
+	}
+	// A withdrawn job leaves a withdrawn terminal record on machine 0 and
+	// a completed one on machine 1.
+	withdrawn := 0
+	for _, r := range c.Nodes()[0].Sched().JobReports() {
+		if r.State == sched.JobWithdrawn {
+			withdrawn++
+		}
+	}
+	if withdrawn != rep.Migrations {
+		t.Errorf("machine 0 has %d withdrawn jobs, want %d", withdrawn, rep.Migrations)
+	}
+}
+
+// TestFleetOpenLoopServiceQoS pins the request-latency pipeline: an
+// open-loop service accumulates requests with sane quantiles, and the
+// fleet report aggregates per-node histograms consistently.
+func TestFleetOpenLoopServiceQoS(t *testing.T) {
+	c := fleet.New(fleet.Config{
+		Machines: []fleet.MachineSpec{{
+			Cores: 8, Domains: 2,
+			Services: []fleet.Service{{Profile: prof("mcf", 40_000), Core: 0, Relaunch: true}},
+		}},
+		Sched:  identitySchedConfig(),
+		Policy: fleet.PolicyLeastPressure,
+		Traffic: fleet.Traffic{
+			Curve: fleet.CurveDiurnal, Rate: 0.4, Horizon: 1500,
+			Mix: []spec.Profile{prof("lbm", 50_000), prof("povray", 50_000)},
+		},
+		Seed:       9,
+		MaxPeriods: 20_000,
+	})
+	c.Run()
+	rep := c.Report()
+	if rep.Completed != rep.Arrivals || rep.Arrivals == 0 {
+		t.Fatalf("%d of %d jobs completed", rep.Completed, rep.Arrivals)
+	}
+	if len(rep.Services) != 1 {
+		t.Fatalf("%d service reports, want 1", len(rep.Services))
+	}
+	sv := rep.Services[0]
+	if sv.Requests < 5 {
+		t.Fatalf("open-loop mcf served only %d requests", sv.Requests)
+	}
+	if sv.P50 <= 0 || sv.P99 < sv.P50 {
+		t.Errorf("QoS quantiles p50=%v p99=%v out of order", sv.P50, sv.P99)
+	}
+	if got := uint64(rep.Completed); rep.Sojourn.N() != got || rep.Wait.N() != got {
+		t.Errorf("fleet-wide histograms hold %d/%d samples, want %d each", rep.Sojourn.N(), rep.Wait.N(), rep.Completed)
+	}
+	if rep.Throughput() <= 0 {
+		t.Error("zero fleet throughput")
+	}
+}
+
+// TestFleetWriteMetrics pins the fleet-wide telemetry merge: one snapshot
+// carries every machine's series under machine="<k>" labels and parses
+// back cleanly.
+func TestFleetWriteMetrics(t *testing.T) {
+	c := fleet.New(fleet.Config{
+		Machines: []fleet.MachineSpec{
+			{Cores: 8, Domains: 2, Services: []fleet.Service{{Profile: prof("mcf", 100_000), Core: 0}}},
+			{Cores: 8, Domains: 2, Services: []fleet.Service{{Profile: prof("namd", 100_000), Core: 0}}},
+		},
+		Sched:  identitySchedConfig(),
+		Policy: fleet.PolicyRoundRobin,
+		Traffic: fleet.Traffic{
+			Curve: fleet.CurveConstant, Rate: 4, Horizon: 1,
+			Mix: []spec.Profile{prof("lbm", 60_000), prof("povray", 60_000)},
+		},
+		Seed:       5,
+		MaxPeriods: 20_000,
+	})
+	c.Run()
+	var sb strings.Builder
+	if err := c.WriteMetrics(&sb); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	ms, err := telemetry.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText over fleet snapshot: %v", err)
+	}
+	perMachine := map[string]float64{}
+	for _, m := range ms {
+		if m.Name == "caer_fleet_node_dispatches_total" {
+			perMachine[m.Label("machine")] = m.Value
+		}
+	}
+	if len(perMachine) != 2 {
+		t.Fatalf("dispatch series for machines %v, want exactly {0,1}", perMachine)
+	}
+	if perMachine["0"]+perMachine["1"] != 4 {
+		t.Errorf("per-machine dispatches %v do not sum to 4", perMachine)
+	}
+	// The process-global spine rides along unlabelled.
+	found := false
+	for _, m := range ms {
+		if m.Name == "caer_fleet_dispatches_total" && m.Label("machine") == "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fleet snapshot is missing the process-global caer_fleet_dispatches_total")
+	}
+}

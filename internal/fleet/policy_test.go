@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"testing"
+
+	"caer/internal/sched"
+)
+
+func view(free, queued int, sens, press, load float64) NodeView {
+	return NodeView{Summary: sched.Summary{
+		FreeCores: free, Queued: queued,
+		Sensitivity: sens, Pressure: press, BatchLoad: load,
+	}}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[Policy]string{
+		PolicyRoundRobin:    "round-robin",
+		PolicyLeastPressure: "least-pressure",
+		PolicyPacked:        "packed",
+		Policy(9):           "Policy(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+	for _, p := range []Policy{PolicyRoundRobin, PolicyLeastPressure, PolicyPacked} {
+		if got := p.NewPlacer().Name(); got != p.String() {
+			t.Errorf("placer name %q != policy name %q", got, p.String())
+		}
+	}
+}
+
+// TestRoundRobinPlacerRotates pins rotation across eligible machines and
+// skipping of saturated ones.
+func TestRoundRobinPlacerRotates(t *testing.T) {
+	p := PolicyRoundRobin.NewPlacer()
+	views := []NodeView{view(4, 0, 0, 0, 0), view(4, 0, 0, 0, 0), view(4, 0, 0, 0, 0)}
+	for i, want := range []int{0, 1, 2, 0} {
+		got := p.Place(views)
+		if got != want {
+			t.Fatalf("dispatch %d -> machine %d, want %d", i, got, want)
+		}
+		p.Commit(got)
+	}
+	// A machine whose queue matches its free cores is skipped.
+	views[1] = view(2, 2, 0, 0, 0)
+	p.Commit(0)
+	if got := p.Place(views); got != 2 {
+		t.Errorf("rotation over saturated machine -> %d, want 2", got)
+	}
+	// No eligible machine: park in the fleet queue.
+	none := []NodeView{view(1, 1, 0, 0, 0), view(0, 0, 0, 0, 0)}
+	if got := p.Place(none); got != -1 {
+		t.Errorf("saturated fleet -> %d, want -1", got)
+	}
+}
+
+// TestLeastPressurePlacerAvoidsSensitiveMachines pins the core gate
+// behaviour: an aggressive job goes to the machine with the least
+// (sensitivity+pressure) exposure, ties broken toward the lower index.
+func TestLeastPressurePlacerAvoidsSensitiveMachines(t *testing.T) {
+	p := PolicyLeastPressure.NewPlacer()
+	views := []NodeView{
+		view(4, 0, 1.8, 0.7, 0), // sensitive service, hot
+		view(4, 0, 0.2, 0.1, 0), // insensitive service, cool
+	}
+	views[0].Aggr, views[1].Aggr = 0.9, 0.9
+	if got := p.Place(views); got != 1 {
+		t.Fatalf("aggressor placed on machine %d, want the cool machine 1", got)
+	}
+	// Resident batch load breaks ties away from crowded machines.
+	tied := []NodeView{view(4, 0, 0.5, 0.2, 2.0), view(4, 0, 0.5, 0.2, 0.5)}
+	if got := p.Place(tied); got != 1 {
+		t.Errorf("tie on latency exposure placed on %d, want less-loaded 1", got)
+	}
+	// Saturated cool machine: the job takes the sensitive one over parking
+	// only if it is eligible; here it is, so expect machine 0.
+	sat := []NodeView{view(4, 0, 1.8, 0.7, 0), view(2, 2, 0.2, 0.1, 0)}
+	if got := p.Place(sat); got != 0 {
+		t.Errorf("only-eligible sensitive machine -> %d, want 0", got)
+	}
+}
+
+func TestPackedPlacerFillsInOrder(t *testing.T) {
+	p := PolicyPacked.NewPlacer()
+	views := []NodeView{view(1, 1, 0, 0, 0), view(3, 0, 0, 0, 0), view(4, 0, 0, 0, 0)}
+	if got := p.Place(views); got != 1 {
+		t.Errorf("packed placed on %d, want first eligible 1", got)
+	}
+}
+
+// TestPlacersAllocationFree pins the dispatch-scan contract: Place runs on
+// the per-period hot path and must not allocate.
+func TestPlacersAllocationFree(t *testing.T) {
+	views := []NodeView{view(4, 1, 0.5, 0.2, 1.0), view(3, 0, 1.0, 0.4, 0.2)}
+	for _, pol := range []Policy{PolicyRoundRobin, PolicyLeastPressure, PolicyPacked} {
+		p := pol.NewPlacer()
+		if n := testing.AllocsPerRun(100, func() { p.Place(views) }); n != 0 {
+			t.Errorf("%s Place allocates %v/op", pol, n)
+		}
+	}
+}

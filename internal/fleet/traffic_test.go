@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"testing"
+
+	"caer/internal/spec"
+)
+
+func mix(names ...string) []spec.Profile {
+	out := make([]spec.Profile, 0, len(names))
+	for _, n := range names {
+		p, ok := spec.ByName(n)
+		if !ok {
+			panic("unknown profile " + n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func totalArrivals(d *driver, horizon int) int {
+	n := 0
+	for p := 0; p < horizon; p++ {
+		n += d.arrivals(p)
+	}
+	return n
+}
+
+// TestTrafficConstantExact pins the fractional-accumulator discretization:
+// with no jitter, a constant curve delivers exactly rate*horizon jobs.
+func TestTrafficConstantExact(t *testing.T) {
+	d := newDriver(Traffic{Curve: CurveConstant, Rate: 0.75, Horizon: 400, Mix: mix("lbm")}, 7)
+	if got := totalArrivals(d, 400); got != 300 {
+		t.Fatalf("constant 0.75 x 400 delivered %d arrivals, want 300", got)
+	}
+	if !d.exhausted(400) || d.exhausted(399) {
+		t.Error("exhaustion boundary wrong")
+	}
+	// Horizon 1 delivers everything up front — the identity-pin shape.
+	up := newDriver(Traffic{Curve: CurveConstant, Rate: 6, Mix: mix("lbm")}, 7)
+	if got := up.arrivals(0); got != 6 {
+		t.Fatalf("up-front driver delivered %d at tick 0, want 6", got)
+	}
+	if up.arrivals(1) != 0 {
+		t.Error("arrivals past the horizon")
+	}
+}
+
+// TestTrafficDiurnalShape pins the ramp: quiet edges, peak mid-horizon,
+// total well below the flat equivalent (mean of sin over [0,pi] = 2/pi).
+func TestTrafficDiurnalShape(t *testing.T) {
+	d := newDriver(Traffic{Curve: CurveDiurnal, Rate: 2, Horizon: 1000, Mix: mix("lbm")}, 7)
+	if r := d.rate(0); r != 0 {
+		t.Errorf("diurnal rate at 0 = %v, want 0", r)
+	}
+	if r := d.rate(500); r < 1.99 {
+		t.Errorf("diurnal rate at mid-horizon = %v, want ~2", r)
+	}
+	total := totalArrivals(d, 1000)
+	if total < 1200 || total > 1350 { // 2000 * 2/pi ~= 1273
+		t.Errorf("diurnal total = %d, want ~1273", total)
+	}
+}
+
+// TestTrafficBurstShape pins the flash-crowd shape: per-period arrivals
+// alternate between the burst level and the 1/5 baseline.
+func TestTrafficBurstShape(t *testing.T) {
+	d := newDriver(Traffic{Curve: CurveBurst, Rate: 5, Horizon: 1000, BurstEvery: 100, BurstLen: 10, Mix: mix("lbm")}, 7)
+	burst, base := 0, 0
+	for p := 0; p < 1000; p++ {
+		if d.rate(p) == 5 {
+			burst++
+		} else {
+			base++
+		}
+	}
+	if burst != 100 || base != 900 {
+		t.Fatalf("burst/base period split = %d/%d, want 100/900", burst, base)
+	}
+	if got, want := totalArrivals(d, 1000), 100*5+900; got != want {
+		t.Errorf("burst total = %d, want %d", got, want)
+	}
+}
+
+// TestTrafficDeterministicPerSeed pins replayability: equal seeds produce
+// identical arrival sequences (with jitter engaged), different seeds
+// generally do not.
+func TestTrafficDeterministicPerSeed(t *testing.T) {
+	cfg := Traffic{Curve: CurveBurst, Rate: 3, Horizon: 500, Jitter: 0.5, Mix: mix("lbm", "povray")}
+	seq := func(seed int64) []int {
+		d := newDriver(cfg, seed)
+		out := make([]int, 500)
+		for p := range out {
+			out[p] = d.arrivals(p)
+		}
+		return out
+	}
+	a, b := seq(11), seq(11)
+	for p := range a {
+		if a[p] != b[p] {
+			t.Fatalf("same seed diverged at period %d: %d vs %d", p, a[p], b[p])
+		}
+	}
+	c := seq(12)
+	same := true
+	for p := range a {
+		if a[p] != c[p] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jittered arrivals")
+	}
+}
+
+// TestTrafficMixCycles pins that arrival i runs Mix[i % len(Mix)], keeping
+// the mix ratio exact and the submission order reproducible.
+func TestTrafficMixCycles(t *testing.T) {
+	m := mix("lbm", "povray", "mcf")
+	d := newDriver(Traffic{Curve: CurveConstant, Rate: 7, Mix: m}, 7)
+	for i := 0; i < 7; i++ {
+		p, idx := d.next()
+		if idx != i || p.Name != m[i%3].Name {
+			t.Fatalf("arrival %d: idx=%d profile=%s, want %d, %s", i, idx, p.Name, i, m[i%3].Name)
+		}
+	}
+}

@@ -12,6 +12,10 @@ const (
 	JobRunning
 	// JobDone means the job ran to completion and released its core.
 	JobDone
+	// JobWithdrawn means the job was pulled back out of the queue before
+	// admission (fleet-level cross-machine migration re-dispatches it to
+	// another scheduler); it is terminal for this scheduler.
+	JobWithdrawn
 )
 
 // String names the state.
@@ -23,14 +27,17 @@ func (s JobState) String() string {
 		return "running"
 	case JobDone:
 		return "done"
+	case JobWithdrawn:
+		return "withdrawn"
 	default:
 		return fmt.Sprintf("JobState(%d)", int(s))
 	}
 }
 
-// jobQueue is a fixed-capacity FIFO ring of job indices. Capacity equals
-// the total submitted job count, so peek/pop/len on the per-period path
-// never allocate and push can never overflow.
+// jobQueue is a FIFO ring of job indices. Capacity starts at the submitted
+// job count so peek/pop/len on the per-period path never allocate; push
+// grows the ring when a dynamic submission (fleet dispatch) overflows it —
+// growth happens only on the cold submission path.
 type jobQueue struct {
 	buf   []int
 	head  int
@@ -51,7 +58,12 @@ func (q *jobQueue) len() int { return q.count }
 
 func (q *jobQueue) push(j int) {
 	if q.count == len(q.buf) {
-		panic("sched: job queue overflow")
+		grown := make([]int, 2*len(q.buf))
+		for i := 0; i < q.count; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
 	}
 	q.buf[(q.head+q.count)%len(q.buf)] = j
 	q.count++
@@ -74,4 +86,21 @@ func (q *jobQueue) pop() int {
 	q.head = (q.head + 1) % len(q.buf)
 	q.count--
 	return j
+}
+
+// remove deletes the first occurrence of job index j, preserving FIFO
+// order of the remainder, and reports whether it was present. Withdrawal
+// path only (cold): it compacts by shifting, O(n).
+func (q *jobQueue) remove(j int) bool {
+	for i := 0; i < q.count; i++ {
+		if q.buf[(q.head+i)%len(q.buf)] != j {
+			continue
+		}
+		for k := i; k < q.count-1; k++ {
+			q.buf[(q.head+k)%len(q.buf)] = q.buf[(q.head+k+1)%len(q.buf)]
+		}
+		q.count--
+		return true
+	}
+	return false
 }

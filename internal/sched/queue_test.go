@@ -40,12 +40,53 @@ func TestJobQueuePanics(t *testing.T) {
 		f()
 	}
 	mustPanic("negative capacity", func() { newJobQueue(-1) })
-	mustPanic("overflow", func() {
-		q := newJobQueue(1)
-		q.push(0)
-		q.push(1)
-	})
 	mustPanic("pop empty", func() { newJobQueue(2).pop() })
+}
+
+// TestJobQueueGrowth pins that push past the initial capacity grows the
+// ring (fleet dispatch submits mid-run, beyond the pre-start job count)
+// and that FIFO order survives growth from a wrapped state.
+func TestJobQueueGrowth(t *testing.T) {
+	q := newJobQueue(2)
+	q.push(0)
+	q.push(1)
+	if q.pop() != 0 {
+		t.Fatal("pop order wrong before growth")
+	}
+	q.push(2) // wraps
+	q.push(3) // grows from a wrapped layout
+	q.push(4)
+	for i, want := range []int{1, 2, 3, 4} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop %d = %d after growth, want %d", i, got, want)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatal("drained grown queue not empty")
+	}
+}
+
+// TestJobQueueRemove pins the withdrawal path: remove deletes the first
+// occurrence, preserves FIFO order of the remainder, and reports absence.
+func TestJobQueueRemove(t *testing.T) {
+	q := newJobQueue(4)
+	for _, j := range []int{5, 6, 7, 8} {
+		q.push(j)
+	}
+	if !q.remove(6) {
+		t.Fatal("remove(6) reported absent")
+	}
+	if q.remove(6) {
+		t.Fatal("second remove(6) reported present")
+	}
+	if !q.remove(8) { // tail removal
+		t.Fatal("remove(8) reported absent")
+	}
+	for i, want := range []int{5, 7} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop %d = %d after removals, want %d", i, got, want)
+		}
+	}
 }
 
 func TestJobQueueZeroCapacity(t *testing.T) {
@@ -57,10 +98,11 @@ func TestJobQueueZeroCapacity(t *testing.T) {
 
 func TestJobStateStrings(t *testing.T) {
 	cases := map[JobState]string{
-		JobWaiting:  "waiting",
-		JobRunning:  "running",
-		JobDone:     "done",
-		JobState(7): "JobState(7)",
+		JobWaiting:   "waiting",
+		JobRunning:   "running",
+		JobDone:      "done",
+		JobWithdrawn: "withdrawn",
+		JobState(7):  "JobState(7)",
 	}
 	for s, want := range cases {
 		if got := s.String(); got != want {

@@ -45,6 +45,9 @@ const (
 	DecisionMigrate
 	// DecisionComplete records a job finishing and releasing its core.
 	DecisionComplete
+	// DecisionWithdraw records a waiting job being pulled back out of the
+	// queue (fleet cross-machine migration re-dispatches it elsewhere).
+	DecisionWithdraw
 )
 
 // String names the decision kind.
@@ -56,6 +59,8 @@ func (k DecisionKind) String() string {
 		return "migrate"
 	case DecisionComplete:
 		return "complete"
+	case DecisionWithdraw:
+		return "withdraw"
 	default:
 		return fmt.Sprintf("DecisionKind(%d)", int(k))
 	}
@@ -110,6 +115,17 @@ type Config struct {
 	MigrationMargin float64
 	// Hysteresis is the classifier's class-flip streak; default 8.
 	Hysteresis int
+	// TrackOffset shifts every span-recorder track id this scheduler uses
+	// by a constant, so N schedulers (one per fleet machine) can share one
+	// process-wide span ring without colliding on slot ids: machine k's
+	// fleet layer passes a disjoint offset and one Chrome trace covers the
+	// whole fleet. 0 (the default) keeps single-machine traces unchanged.
+	TrackOffset int32
+	// TrackPrefix prepends a lane-name prefix (e.g. "m3/") to every span
+	// track this scheduler names, so the merged fleet trace identifies
+	// which machine each lane belongs to. "" (the default) keeps
+	// single-machine lane names unchanged.
+	TrackPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -250,6 +266,92 @@ func (s *Scheduler) QueueLen() int {
 	return s.queue.len()
 }
 
+// JobStateOf returns job's lifecycle state. Allocation-free; the fleet
+// layer polls it every period to harvest admissions and completions.
+func (s *Scheduler) JobStateOf(job int) JobState { return s.jobs[job].state }
+
+// JobAdmittedPeriod returns the 1-based period job left the queue for a
+// core (0 = not yet admitted). Allocation-free.
+func (s *Scheduler) JobAdmittedPeriod(job int) uint64 { return s.jobs[job].admitted }
+
+// JobDonePeriod returns the 1-based period job completed in (0 = still
+// queued or running). Allocation-free.
+func (s *Scheduler) JobDonePeriod(job int) uint64 { return s.jobs[job].done }
+
+// JobWaited returns how many periods job has spent in the admission queue
+// so far. Allocation-free.
+func (s *Scheduler) JobWaited(job int) int { return s.jobs[job].waited }
+
+// AppAggressiveness returns the classifier's aggressiveness score for the
+// named application, or (0, false) if this scheduler has never seen it.
+// The fleet placer consults every machine's classifier this way, so a job
+// profiled on one machine informs placement on all of them.
+func (s *Scheduler) AppAggressiveness(name string) (float64, bool) {
+	//caer:allow hotpath read-only lookup in the name table built at Submit time; the fleet dispatch scan never grows it
+	app, ok := s.appByName[name]
+	if !ok {
+		return 0, false
+	}
+	return s.classifier.Aggressiveness(app), true
+}
+
+// Summary is the whole machine's state as the fleet-level placer sees it:
+// the per-machine analogue of View, aggregated over every LLC domain. The
+// scheduler refreshes a caller-held Summary in place, allocation-free.
+type Summary struct {
+	// FreeCores counts unoccupied batch cores across all domains.
+	FreeCores int
+	// Queued is the admission-queue depth.
+	Queued int
+	// Sensitivity is the summed classifier sensitivity of the machine's
+	// latency-sensitive apps.
+	Sensitivity float64
+	// Pressure is the latency apps' summed windowed LLC-miss pressure,
+	// normalized per app to [0, 1).
+	Pressure float64
+	// BatchLoad is the summed aggressiveness of resident batch jobs.
+	BatchLoad float64
+}
+
+// Summarize fills sum with the machine-wide placement summary. It mirrors
+// fillViews but collapses domains, and runs on the fleet's per-period
+// dispatch path: allocation-free.
+func (s *Scheduler) Summarize(sum *Summary) {
+	free := 0
+	if s.started {
+		for _, f := range s.freeCount {
+			free += f
+		}
+	} else {
+		free = s.m.Cores() - len(s.latency)
+	}
+	sum.FreeCores = free
+	// Count waiting states rather than the live ring: before the first Step
+	// the ring does not exist yet (start seeds it from s.jobs), but the
+	// fleet placer already needs the pre-start backlog.
+	queued := 0
+	for _, j := range s.jobs {
+		if j.state == JobWaiting {
+			queued++
+		}
+	}
+	sum.Queued = queued
+	sum.Sensitivity = 0
+	sum.Pressure = 0
+	sum.BatchLoad = 0
+	for i := range s.latency {
+		la := &s.latency[i]
+		sum.Sensitivity += s.classifier.Sensitivity(la.app)
+		p := la.slot.WindowMean()
+		sum.Pressure += p / (p + s.cfg.PressureScale)
+	}
+	for _, j := range s.jobs {
+		if j.state == JobRunning {
+			sum.BatchLoad += s.classifier.Aggressiveness(j.app)
+		}
+	}
+}
+
 // Decisions returns a copy of the placement/admission timeline.
 func (s *Scheduler) Decisions() []Decision {
 	out := make([]Decision, len(s.decisions))
@@ -285,10 +387,12 @@ func (s *Scheduler) AddLatency(name string, core int, proc *machine.Process) {
 
 // Submit queues a batch job. Jobs sharing a Name share a classifier
 // profile, so repeated instances of the same program benefit from what
-// earlier runs taught the classifier. Must be called before the first
-// Step; jobs are admitted in submission order (FIFO with aging).
+// earlier runs taught the classifier. Jobs are admitted in submission
+// order (FIFO with aging). Submission is allowed both before the first
+// Step (the closed batch-set shape runner.ModeScheduled uses) and while
+// the scheduler is running (open-loop arrivals dispatched by the fleet
+// layer); a job submitted mid-run joins the tail of the queue.
 func (s *Scheduler) Submit(j Job) int {
-	s.mustNotBeStarted()
 	if j.Name == "" || j.New == nil {
 		panic("sched: job needs a name and a process factory")
 	}
@@ -305,9 +409,46 @@ func (s *Scheduler) Submit(j Job) int {
 		core:   -1,
 		domain: -1,
 	}
-	telemetry.DefaultSpans.NameTrack(int32(js.slot.ID()), "job/"+j.Name)
+	telemetry.DefaultSpans.NameTrack(s.track(js.slot), s.cfg.TrackPrefix+"job/"+j.Name)
 	s.jobs = append(s.jobs, js)
-	return len(s.jobs) - 1
+	id := len(s.jobs) - 1
+	if s.started {
+		// start() seeds the queue from s.jobs; after it, each dynamic
+		// submission pushes its own entry.
+		s.queue.push(id)
+	}
+	return id
+}
+
+// track maps a comm slot to its span-recorder track id, shifted by the
+// configured per-scheduler offset. Allocation-free.
+func (s *Scheduler) track(slot *comm.Slot) int32 {
+	return int32(slot.ID()) + s.cfg.TrackOffset
+}
+
+// Withdraw pulls a still-waiting job back out of the admission queue and
+// reports whether it succeeded (false once the job is running or done).
+// The fleet layer uses this for cross-machine migration of queued work:
+// the withdrawn job is terminal here (JobWithdrawn) and is re-submitted,
+// with a fresh process factory, to another machine's scheduler. Cold path:
+// it records a decision and may allocate.
+func (s *Scheduler) Withdraw(job int) bool {
+	if job < 0 || job >= len(s.jobs) {
+		panic(fmt.Sprintf("sched: withdraw of unknown job %d", job))
+	}
+	j := s.jobs[job]
+	if j.state != JobWaiting || !s.started {
+		return false
+	}
+	if !s.queue.remove(job) {
+		return false
+	}
+	j.state = JobWithdrawn
+	s.decisions = append(s.decisions, Decision{
+		Period: s.period, Kind: DecisionWithdraw, Job: job, Name: j.spec.Name,
+		From: -1, To: -1, Core: -1, Waited: j.waited, Queued: s.queue.len(),
+	})
+	return true
 }
 
 func (s *Scheduler) mustNotBeStarted() {
@@ -386,12 +527,13 @@ func (s *Scheduler) RunUntil(stop func() bool, maxPeriods int) int {
 	return maxPeriods
 }
 
-// Done reports whether every submitted batch job has run to completion
-// (the admission queue is drained). Latency apps are long-running services
-// and do not gate completion; see LatencyReports for their lifecycle.
+// Done reports whether every submitted batch job has reached a terminal
+// state: run to completion, or withdrawn by the fleet layer (the admission
+// queue is drained either way). Latency apps are long-running services and
+// do not gate completion; see LatencyReports for their lifecycle.
 func (s *Scheduler) Done() bool {
 	for _, j := range s.jobs {
-		if j.state != JobDone {
+		if j.state != JobDone && j.state != JobWithdrawn {
 			return false
 		}
 	}
@@ -478,7 +620,7 @@ func (s *Scheduler) finishJobs() {
 		if residency == 0 {
 			residency = 1
 		}
-		telemetry.DefaultSpans.Record(int32(j.slot.ID()), telemetry.SpanJob,
+		telemetry.DefaultSpans.Record(s.track(j.slot), telemetry.SpanJob,
 			j.admitted, uint32(residency), float64(j.migrations))
 		s.decisions = append(s.decisions, Decision{
 			Period: s.period, Kind: DecisionComplete, Job: i, Name: j.spec.Name,
@@ -556,7 +698,7 @@ func (s *Scheduler) admitTo(head int, j *jobState, d int, aged bool) {
 		telemetry.SchedAgedBypasses.Inc()
 	}
 	if j.waited > 0 {
-		telemetry.DefaultSpans.Record(int32(j.slot.ID()), telemetry.SpanQueued,
+		telemetry.DefaultSpans.Record(s.track(j.slot), telemetry.SpanQueued,
 			s.period-uint64(j.waited), uint32(j.waited), float64(s.queue.len()))
 	}
 	s.decisions = append(s.decisions, Decision{

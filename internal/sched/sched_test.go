@@ -222,11 +222,6 @@ func TestSchedulerLifecyclePanics(t *testing.T) {
 		m := machine.New(machine.Config{Cores: 4, Domains: 2})
 		New(m, Config{}).Step()
 	})
-	mustPanic("late submit", func() {
-		s := newTestSched(Config{})
-		s.Step()
-		s.Submit(testJob("lbm", 1000, 0))
-	})
 	mustPanic("late latency", func() {
 		s := newTestSched(Config{})
 		s.Step()
@@ -260,5 +255,122 @@ func TestSchedulerSharedProfileByName(t *testing.T) {
 	}
 	if ja.app == jc.app {
 		t.Error("different jobs share a classifier profile")
+	}
+}
+
+// TestSchedulerMidRunSubmit pins the open-loop shape the fleet dispatcher
+// uses: jobs submitted after the first Step join the queue and drain like
+// pre-start submissions.
+func TestSchedulerMidRunSubmit(t *testing.T) {
+	s := newTestSched(Config{AgingBound: 200})
+	s.Submit(testJob("povray", 100_000, 0))
+	s.Step()
+	late := s.Submit(testJob("lbm", 100_000, 1))
+	if got := s.JobStateOf(late); got != JobWaiting {
+		t.Fatalf("mid-run submission state = %v, want waiting", got)
+	}
+	s.RunUntil(s.Done, 4000)
+	if !s.Done() {
+		t.Fatalf("mid-run submission not drained: state=%v queue=%d", s.JobStateOf(late), s.QueueLen())
+	}
+	if s.JobDonePeriod(late) == 0 {
+		t.Error("mid-run submission has no completion period")
+	}
+}
+
+// TestSchedulerWithdraw pins the fleet cross-machine migration primitive:
+// a still-waiting job can be withdrawn (terminal for this scheduler, with
+// a decision-log entry), a running or done job cannot, and Done treats
+// withdrawn jobs as drained.
+func TestSchedulerWithdraw(t *testing.T) {
+	s := newTestSched(Config{AgingBound: 10_000})
+	var ids []int
+	// Enough jobs that the tail of the queue stays waiting after a step.
+	for i := 0; i < 12; i++ {
+		ids = append(ids, s.Submit(testJob("lbm", 50_000, i)))
+	}
+	if s.Withdraw(ids[len(ids)-1]) {
+		t.Fatal("pre-start withdraw succeeded; fleet migration only runs mid-flight")
+	}
+	s.Step()
+	tail := ids[len(ids)-1]
+	if s.JobStateOf(tail) != JobWaiting {
+		t.Fatalf("tail job not waiting after one step: %v", s.JobStateOf(tail))
+	}
+	if !s.Withdraw(tail) {
+		t.Fatal("withdraw of waiting job failed")
+	}
+	if got := s.JobStateOf(tail); got != JobWithdrawn {
+		t.Fatalf("withdrawn job state = %v", got)
+	}
+	if s.Withdraw(tail) {
+		t.Fatal("double withdraw succeeded")
+	}
+	var running int = -1
+	for _, id := range ids {
+		if s.JobStateOf(id) == JobRunning {
+			running = id
+			break
+		}
+	}
+	if running >= 0 && s.Withdraw(running) {
+		t.Fatal("withdraw of running job succeeded")
+	}
+	found := false
+	for _, d := range s.Decisions() {
+		if d.Kind == DecisionWithdraw && d.Job == tail {
+			found = true
+			if d.Core != -1 || d.From != -1 || d.To != -1 {
+				t.Errorf("withdraw decision has placement fields set: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Error("no DecisionWithdraw entry in the decision log")
+	}
+	s.RunUntil(s.Done, 20_000)
+	if !s.Done() {
+		t.Fatal("scheduler never drained with a withdrawn job in the set")
+	}
+	if r := s.JobReports()[tail]; r.State != JobWithdrawn || r.Done != 0 {
+		t.Errorf("withdrawn job report state=%v done=%d, want withdrawn, 0", r.State, r.Done)
+	}
+}
+
+// TestSchedulerSummarize pins the fleet placer's machine view: free cores
+// before start equal batch capacity, queue depth tracks submissions, and
+// the summary refresh is allocation-free.
+func TestSchedulerSummarize(t *testing.T) {
+	s := newTestSched(Config{})
+	var sum Summary
+	s.Summarize(&sum)
+	// 8 cores, 2 latency apps -> 6 batch cores.
+	if sum.FreeCores != 6 {
+		t.Fatalf("pre-start FreeCores = %d, want 6", sum.FreeCores)
+	}
+	if sum.Queued != 0 {
+		t.Fatalf("pre-start Queued = %d, want 0", sum.Queued)
+	}
+	for i := 0; i < 8; i++ {
+		s.Submit(testJob("lbm", 80_000, i))
+	}
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	s.Summarize(&sum)
+	if sum.FreeCores < 0 || sum.FreeCores > 6 {
+		t.Fatalf("FreeCores = %d out of [0,6]", sum.FreeCores)
+	}
+	if sum.Queued != s.QueueLen() {
+		t.Fatalf("Queued = %d, QueueLen = %d", sum.Queued, s.QueueLen())
+	}
+	if sum.Pressure < 0 || sum.Pressure >= float64(len(s.latency)) {
+		t.Fatalf("Pressure = %v out of [0, apps)", sum.Pressure)
+	}
+	if sum.BatchLoad < 0 {
+		t.Fatalf("BatchLoad = %v negative", sum.BatchLoad)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.Summarize(&sum) }); allocs != 0 {
+		t.Errorf("Summarize allocates %v/op; fleet dispatch path must be allocation-free", allocs)
 	}
 }

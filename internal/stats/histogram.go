@@ -141,6 +141,17 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.n += other.n
 }
 
+// MergeMany folds every given histogram into h in order. Merge is
+// commutative and associative on the counts, so the result — including
+// every quantile — is independent of merge order; fleet-wide aggregation
+// (N machines' per-job latency histograms into one distribution) relies on
+// that. Merging an empty histogram is a no-op.
+func (h *Histogram) MergeMany(others ...*Histogram) {
+	for _, o := range others {
+		h.Merge(o)
+	}
+}
+
 // Reset zeroes all counts, keeping the bucket geometry.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {

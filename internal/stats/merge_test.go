@@ -2,7 +2,9 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
+	"testing/quick"
 )
 
 // TestHistogramMergeQuantiles pins the property the sched classifier's
@@ -73,6 +75,71 @@ func TestHistogramMergeEmpty(t *testing.T) {
 	e2.Merge(h)
 	if e2.N() != 2 || e2.Quantile(0.5) != h.Quantile(0.5) {
 		t.Fatalf("merge into empty: n=%d q50=%v, want 2, %v", e2.N(), e2.Quantile(0.5), h.Quantile(0.5))
+	}
+}
+
+// TestHistogramMergeManyEmpty pins that folding any number of empty
+// histograms — interleaved with populated ones — is a no-op beyond the
+// populated counts, and that MergeMany with no arguments changes nothing.
+func TestHistogramMergeManyEmpty(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	before := h.Quantile(0.5)
+	h.MergeMany()
+	if h.N() != 1 || h.Quantile(0.5) != before {
+		t.Fatalf("MergeMany() changed state: n=%d", h.N())
+	}
+	e1, e2, e3 := NewHistogram(0, 10, 5), NewHistogram(0, 10, 5), NewHistogram(0, 10, 5)
+	e2.Add(7)
+	h.MergeMany(e1, e2, e3)
+	if h.N() != 2 {
+		t.Fatalf("MergeMany over empties: n=%d, want 2", h.N())
+	}
+	if u, o := h.Outliers(); u != 0 || o != 0 {
+		t.Fatalf("MergeMany over empties left outliers (%d,%d)", u, o)
+	}
+}
+
+// TestHistogramMergeOrderInvariance is the fleet-aggregation property: for
+// random sample streams split across several histograms, every quantile of
+// the MergeMany result is identical under any merge-order permutation.
+func TestHistogramMergeOrderInvariance(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const parts = 5
+		hs := make([]*Histogram, parts)
+		for i := range hs {
+			hs[i] = NewHistogram(0, 100, 16)
+			for n := rng.Intn(40); n > 0; n-- {
+				hs[i].Add(rng.Float64()*140 - 20) // includes under/overflow
+			}
+		}
+		forward := NewHistogram(0, 100, 16)
+		forward.MergeMany(hs...)
+		perm := rng.Perm(parts)
+		shuffled := NewHistogram(0, 100, 16)
+		for _, i := range perm {
+			shuffled.Merge(hs[i])
+		}
+		if forward.N() != shuffled.N() {
+			return false
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if forward.Quantile(q) != shuffled.Quantile(q) {
+				return false
+			}
+		}
+		for i := 0; i < forward.Buckets(); i++ {
+			fc, _, _ := forward.Bucket(i)
+			sc, _, _ := shuffled.Bucket(i)
+			if fc != sc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
 	}
 }
 

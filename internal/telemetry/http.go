@@ -3,6 +3,7 @@ package telemetry
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -18,11 +19,16 @@ import (
 //
 // Everything is read-only; the handlers never touch the hot path beyond the
 // same atomics it writes.
-func Handler() http.Handler {
+func Handler() http.Handler { return HandlerWith(WriteSnapshot) }
+
+// HandlerWith is Handler with a custom /metrics snapshot source — the
+// fleet endpoint passes a closure that Unions every machine's registry
+// into one exposition, so a single /metrics covers the whole cluster.
+func HandlerWith(snapshot func(io.Writer) error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := WriteSnapshot(w); err != nil {
+		if err := snapshot(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -56,12 +62,16 @@ func Handler() http.Handler {
 // Serve starts the telemetry HTTP endpoint on addr (e.g. ":6060") and
 // returns the bound listener; close it to stop serving. The server runs on
 // its own goroutine and never blocks the sampling loop.
-func Serve(addr string) (net.Listener, error) {
+func Serve(addr string) (net.Listener, error) { return ServeWith(addr, WriteSnapshot) }
+
+// ServeWith is Serve with a custom /metrics snapshot source (see
+// HandlerWith).
+func ServeWith(addr string, snapshot func(io.Writer) error) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler()}
+	srv := &http.Server{Handler: HandlerWith(snapshot)}
 	//caer:allow goroutinelifecycle shutdown edge is the returned listener: closing it makes srv.Serve return (documented contract above)
 	go func() {
 		// Serve returns when the listener closes; that is the shutdown path.

@@ -69,6 +69,15 @@ var (
 	SchedQueueDepth     = defaultRegistry.Gauge("caer_sched_queue_depth", "jobs waiting in the admission queue")
 	SchedRunning        = defaultRegistry.Gauge("caer_sched_running", "jobs currently resident on cores")
 
+	// fleet: cluster-level traffic, dispatch, and cross-machine migration.
+	FleetTicks       = defaultRegistry.Counter("caer_fleet_ticks_total", "fleet scheduler ticks (one per cluster-wide period)")
+	FleetArrivals    = defaultRegistry.Counter("caer_fleet_arrivals_total", "jobs arrived into the fleet admission queue")
+	FleetDispatches  = defaultRegistry.Counter("caer_fleet_dispatches_total", "jobs dispatched from the fleet queue onto machines")
+	FleetMigrations  = defaultRegistry.Counter("caer_fleet_migrations_total", "queued jobs migrated between machines")
+	FleetCompletions = defaultRegistry.Counter("caer_fleet_completions_total", "fleet jobs run to completion")
+	FleetRequests    = defaultRegistry.Counter("caer_fleet_requests_total", "latency-service requests completed across the fleet")
+	FleetQueueDepth  = defaultRegistry.Gauge("caer_fleet_queue_depth", "jobs waiting in the fleet admission queue")
+
 	// runner: deployment-level runs and batch relaunches.
 	RunnerRunsAlone     = defaultRegistry.Counter("caer_runner_runs_total", "scenario runs by mode", "mode", "alone")
 	RunnerRunsNative    = defaultRegistry.Counter("caer_runner_runs_total", "scenario runs by mode", "mode", "native")
