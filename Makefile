@@ -27,3 +27,9 @@ bench:
 .PHONY: fleet
 fleet:
 	go run ./cmd/caer-bench -fleet
+
+# SLO regime gate at full scale (DESIGN.md §15; writes BENCH_slo.json plus
+# the caer-doctor bundle SLO_*.json).
+.PHONY: slo
+slo:
+	go run ./cmd/caer-bench -slo

@@ -15,7 +15,9 @@ vet_elapsed=$(( $(date +%s) - vet_start ))
 echo "caer-vet runtime: ${vet_elapsed}s (budget ${CAER_VET_BUDGET:-120}s)"
 [ "$vet_elapsed" -le "${CAER_VET_BUDGET:-120}" ] || {
     echo "caer-vet budget: ${vet_elapsed}s exceeds CAER_VET_BUDGET=${CAER_VET_BUDGET:-120}s" >&2; exit 1; }
-go test -race -coverprofile=coverage.out ./...
+# -timeout: the experiments race suite (regime suites + SLO battery) runs
+# past the 600s per-binary default.
+go test -race -timeout 30m -coverprofile=coverage.out ./...
 # Coverage ratchet: total statement coverage must not fall below
 # CAER_COVERAGE_MIN (default 80, one point under the measured baseline —
 # raise it as coverage grows, never lower it to absorb a regression).
@@ -26,6 +28,7 @@ awk -v t="$total" -v min="${CAER_COVERAGE_MIN:-80}" 'BEGIN { exit !(t+0 >= min+0
 # corpus and any new corpus entries actually execute against the invariants
 # (go's fuzzer accepts one target per invocation).
 go test -run='^$' -fuzz='^FuzzParseText$' -fuzztime=10s ./internal/telemetry
+go test -run='^$' -fuzz='^FuzzParseSeries$' -fuzztime=10s ./internal/telemetry
 go test -run='^$' -fuzz='^FuzzParseChromeTrace$' -fuzztime=10s ./internal/trace
 # Chaos gate: the fault-injection regimes (DESIGN.md §8) in short mode —
 # every fault class must fail open under every heuristic.
@@ -54,6 +57,23 @@ rm -f BENCH_sched.json
 go run ./cmd/caer-bench -fleet -quick > /dev/null
 test -s BENCH_fleet.json
 rm -f BENCH_fleet.json
+# SLO gate (DESIGN.md §15) in short mode: metrics-fed placement must match
+# or beat least-pressure on the sensitive p99 at equal throughput, a total
+# scrape outage must degrade to least-pressure byte-for-byte, and the alert
+# battery's seeded monitor outages must each fire exactly one burn-rate
+# alert with zero false positives. The run leaves BENCH_slo.json plus the
+# doctor bundle (SLO_*.json).
+go run ./cmd/caer-bench -slo -quick > /dev/null
+test -s BENCH_slo.json
+# Doctor smoke: the offline replay over the bundle must name the seeded
+# violation class and count all three episodes.
+go run ./cmd/caer-doctor -dir . > DOCTOR_out.txt
+grep -q "degraded-budget firing" DOCTOR_out.txt || {
+    echo "doctor smoke: seeded degraded-budget violation not named" >&2; exit 1; }
+grep -q "diagnosis: 3 SLO violation" DOCTOR_out.txt || {
+    echo "doctor smoke: expected 3 diagnosed violations" >&2; exit 1; }
+rm -f BENCH_slo.json SLO_series.json SLO_events.json SLO_trace.json \
+      SLO_objectives.json DOCTOR_out.txt
 for fam in caer_pmu_reads_total caer_comm_publishes_total \
            caer_engine_ticks_total caer_engine_verdicts_total \
            caer_sched_admissions_total caer_telemetry_ops_total; do

@@ -8,7 +8,7 @@
 //	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
-//	           [-chaos] [-sched] [-sampling] [-perf] [-fleet] [-workers N]
+//	           [-chaos] [-sched] [-sampling] [-perf] [-fleet] [-slo] [-workers N]
 //	           [-telemetry addr] [-telemetry-out FILE]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
@@ -44,6 +44,19 @@
 // at equal admitted throughput, and writes the comparison as
 // machine-readable BENCH_fleet.json (into -csv DIR when given, else the
 // working directory). Skips figures unless -fig is set explicitly.
+//
+// -slo runs the SLO regime suite (DESIGN.md §15): the fleet-suite cluster
+// with every node's burn-rate SLO engine armed, compared across
+// least-pressure, telemetry-fed, and forced-scrape-outage placement, plus
+// a seeded-violation alert battery (scripted CAER-M monitor outages on a
+// single machine). It exits non-zero unless telemetry-fed placement
+// matches or beats least-pressure on the sensitive p99 at equal admitted
+// throughput, the outage run reproduces least-pressure exactly, and the
+// battery raises exactly one firing alert per seeded violation with zero
+// false positives. Writes BENCH_slo.json plus the caer-doctor bundle
+// (SLO_series.json, SLO_events.json, SLO_trace.json, SLO_objectives.json)
+// into -csv DIR when given, else the working directory. Skips figures
+// unless -fig is set explicitly.
 //
 // -perf runs the performance baseline suite (DESIGN.md §11): ns/op for each
 // stage of the per-period pipeline (cache step, hierarchy access, PMU probe,
@@ -81,6 +94,7 @@ func main() {
 	schedFlag := flag.Bool("sched", false, "run the scheduler regime suite and write BENCH_sched.json (skips figures unless -fig is set explicitly)")
 	samplingFlag := flag.Bool("sampling", false, "run the sampling-mode sweep and write BENCH_sampling.json (skips figures unless -fig is set explicitly)")
 	fleetFlag := flag.Bool("fleet", false, "run the fleet regime suite and write BENCH_fleet.json (skips figures unless -fig is set explicitly)")
+	sloFlag := flag.Bool("slo", false, "run the SLO regime suite and write BENCH_slo.json plus the caer-doctor bundle (skips figures unless -fig is set explicitly)")
 	perfFlag := flag.Bool("perf", false, "run the performance baseline suite and write BENCH_perf.json (skips figures unless -fig is set explicitly)")
 	workers := flag.Int("workers", 4, "domain-stepper worker pool size for -perf parallel measurements, -sched, and -fleet")
 	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
@@ -117,7 +131,7 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	if (*chaos || *schedFlag || *perfFlag || *samplingFlag || *fleetFlag) && !figSetExplicitly {
+	if (*chaos || *schedFlag || *perfFlag || *samplingFlag || *fleetFlag || *sloFlag) && !figSetExplicitly {
 		want = map[string]bool{}
 	}
 	all := want["all"]
@@ -332,6 +346,35 @@ func main() {
 		}
 		fh.Close()
 		fmt.Fprintf(out, "[wrote %s]\n", path)
+	}
+	if *sloFlag {
+		fmt.Fprintf(out, "\n")
+		regime := experiments.SLOSuiteWorkers(*seed, *quick, *workers)
+		if err := regime.Render(out); err != nil {
+			fatalf("render slo regimes: %v", err)
+		}
+		if err := regime.Check(); err != nil {
+			fatalf("slo gate violation: %v", err)
+		}
+		fmt.Fprintf(out, "slo gate holds: telemetry placement matches or beats least-pressure on sensitive p99, outage degrades exactly, every seeded violation fired exactly once\n")
+		dir := "."
+		if *csvDir != "" {
+			dir = *csvDir
+		}
+		path := filepath.Join(dir, "BENCH_slo.json")
+		fh, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		if err := regime.WriteJSON(fh); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fh.Close()
+		fmt.Fprintf(out, "[wrote %s]\n", path)
+		if err := regime.WriteDoctorBundle(dir); err != nil {
+			fatalf("write doctor bundle: %v", err)
+		}
+		fmt.Fprintf(out, "[wrote %s]\n", filepath.Join(dir, "SLO_{series,events,trace,objectives}.json"))
 	}
 	if *telemetryOut != "" {
 		fh, err := os.Create(*telemetryOut)

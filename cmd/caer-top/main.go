@@ -3,12 +3,20 @@
 // -telemetry: per-core contention pressure, the current directive, and
 // degraded (fail-open) state, plus the headline pipeline counters.
 //
+// Fleet snapshots (caer-fleet/caer-bench -fleet serve a Registry.Union
+// where every machine's series carries a machine="<k>" label) render in
+// fleet mode automatically: cores group under their machine, -machine
+// narrows the view to one machine, and an alerts pane summarizes every
+// node's caer_slo_* burn-rate state (objective, state, fast/slow burn,
+// episodes fired).
+//
 // Usage:
 //
 //	caer-run -latency mcf -mode caer -telemetry :6060 &
 //	caer-top -addr localhost:6060
 //	caer-top -addr localhost:6060 -once
 //	caer-top -addr localhost:6060 -interval 500ms -iterations 10
+//	caer-top -addr localhost:6060 -machine 2
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"caer/internal/slo"
 	"caer/internal/telemetry"
 )
 
@@ -29,6 +38,7 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "refresh interval")
 	iterations := flag.Int("iterations", 0, "number of refreshes before exiting (0 = until interrupted)")
 	once := flag.Bool("once", false, "print a single snapshot without clearing the screen")
+	machine := flag.String("machine", "", "fleet mode: show only this machine= label value")
 	flag.Parse()
 
 	if *once {
@@ -42,7 +52,7 @@ func main() {
 		if !*once {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
 		}
-		if err := render(os.Stdout, *addr, metrics); err != nil {
+		if err := render(os.Stdout, *addr, filterMachine(metrics, *machine)); err != nil {
 			fatalf("render: %v", err)
 		}
 		if *iterations != 0 && i == *iterations-1 {
@@ -69,8 +79,25 @@ func scrape(url string) ([]telemetry.TextMetric, error) {
 	return metrics, nil
 }
 
+// filterMachine narrows a fleet snapshot to one machine= label value (""
+// keeps everything). Unlabelled series — the process-global spine — stay:
+// they are shared context, not another machine's.
+func filterMachine(metrics []telemetry.TextMetric, machine string) []telemetry.TextMetric {
+	if machine == "" {
+		return metrics
+	}
+	out := metrics[:0]
+	for _, m := range metrics {
+		if v := m.Label("machine"); v == "" || v == machine {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // coreRow is one core's live state assembled from the caer_core_* gauges.
 type coreRow struct {
+	machine   string
 	core      string
 	app       string
 	role      string
@@ -117,7 +144,13 @@ func render(w io.Writer, addr string, metrics []telemetry.TextMetric) error {
 	rows := collectCores(metrics)
 	if len(rows) == 0 {
 		fmt.Fprintln(w, "no per-core gauges yet (is a deployment stepping?)")
-		return nil
+		return renderAlerts(w, metrics)
+	}
+	fleet := false
+	for _, r := range rows {
+		if r.machine != "" {
+			fleet = true
+		}
 	}
 	maxPressure := 1.0
 	for _, r := range rows {
@@ -125,8 +158,12 @@ func render(w io.Writer, addr string, metrics []telemetry.TextMetric) error {
 			maxPressure = r.pressure
 		}
 	}
+	if fleet {
+		fmt.Fprintf(w, "%-8s ", "machine")
+	}
 	fmt.Fprintf(w, "%-5s %-12s %-18s %12s  %-20s %-9s %s\n",
 		"core", "app", "role", "pressure", "", "directive", "state")
+	lastMachine := "\x00"
 	for _, r := range rows {
 		dir, state := "-", "ok"
 		if r.hasDir {
@@ -139,8 +176,95 @@ func render(w io.Writer, addr string, metrics []telemetry.TextMetric) error {
 		if r.degraded {
 			state = "DEGRADED"
 		}
+		if fleet {
+			cell := ""
+			if r.machine != lastMachine {
+				cell = "m" + r.machine
+				if r.machine == "" {
+					cell = "-"
+				}
+				lastMachine = r.machine
+			}
+			fmt.Fprintf(w, "%-8s ", cell)
+		}
 		fmt.Fprintf(w, "%-5s %-12s %-18s %12.0f  %-20s %-9s %s\n",
 			r.core, r.app, r.role, r.pressure, bar(r.pressure/maxPressure, 20), dir, state)
+	}
+	return renderAlerts(w, metrics)
+}
+
+// alertRow is one SLO alert's live state joined from the caer_slo_*
+// families by (machine, slo) labels.
+type alertRow struct {
+	machine  string
+	slo      string
+	state    float64
+	hasState bool
+	fast     float64
+	slow     float64
+	fired    float64
+}
+
+// renderAlerts writes the fleet-mode alerts pane: one row per (machine,
+// objective) with the burn-rate state machine's position. Silent when the
+// snapshot carries no caer_slo_* series (non-SLO deployments).
+func renderAlerts(w io.Writer, metrics []telemetry.TextMetric) error {
+	byKey := map[string]*alertRow{}
+	for _, m := range metrics {
+		if !strings.HasPrefix(m.Name, "caer_slo_") {
+			continue
+		}
+		name := m.Label("slo")
+		if name == "" {
+			continue // caer_slo_evals_total has no slo label
+		}
+		key := m.Label("machine") + "/" + name
+		r, ok := byKey[key]
+		if !ok {
+			r = &alertRow{machine: m.Label("machine"), slo: name}
+			byKey[key] = r
+		}
+		switch m.Name {
+		case "caer_slo_state":
+			r.state = m.Value
+			r.hasState = true
+		case "caer_slo_burn_fast":
+			r.fast = m.Value
+		case "caer_slo_burn_slow":
+			r.slow = m.Value
+		case "caer_slo_alerts_total":
+			r.fired = m.Value
+		}
+	}
+	if len(byKey) == 0 {
+		return nil
+	}
+	rows := make([]alertRow, 0, len(byKey))
+	for _, r := range byKey {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].machine != rows[j].machine {
+			if len(rows[i].machine) != len(rows[j].machine) {
+				return len(rows[i].machine) < len(rows[j].machine)
+			}
+			return rows[i].machine < rows[j].machine
+		}
+		return rows[i].slo < rows[j].slo
+	})
+	fmt.Fprintf(w, "\nalerts:\n%-8s %-24s %-9s %10s %10s %7s\n",
+		"machine", "slo", "state", "burn_fast", "burn_slow", "fired")
+	for _, r := range rows {
+		machine := "m" + r.machine
+		if r.machine == "" {
+			machine = "-"
+		}
+		state := "?"
+		if r.hasState {
+			state = slo.AlertState(int(r.state)).String()
+		}
+		fmt.Fprintf(w, "%-8s %-24s %-9s %10.2f %10.2f %7.0f\n",
+			machine, r.slo, state, r.fast, r.slow, r.fired)
 	}
 	return nil
 }
@@ -152,11 +276,13 @@ func collectCores(metrics []telemetry.TextMetric) []coreRow {
 		if !strings.HasPrefix(m.Name, "caer_core_") {
 			continue
 		}
+		machine := m.Label("machine")
 		core := m.Label("core")
-		r, ok := byCore[core]
+		key := machine + "/" + core
+		r, ok := byCore[key]
 		if !ok {
-			r = &coreRow{core: core, app: m.Label("app"), role: m.Label("role")}
-			byCore[core] = r
+			r = &coreRow{machine: machine, core: core, app: m.Label("app"), role: m.Label("role")}
+			byCore[key] = r
 		}
 		switch m.Name {
 		case "caer_core_pressure":
@@ -173,6 +299,12 @@ func collectCores(metrics []telemetry.TextMetric) []coreRow {
 		rows = append(rows, *r)
 	}
 	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].machine != rows[j].machine {
+			if len(rows[i].machine) != len(rows[j].machine) {
+				return len(rows[i].machine) < len(rows[j].machine)
+			}
+			return rows[i].machine < rows[j].machine
+		}
 		if len(rows[i].core) != len(rows[j].core) {
 			return len(rows[i].core) < len(rows[j].core)
 		}

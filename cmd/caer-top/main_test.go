@@ -120,3 +120,83 @@ func TestBar(t *testing.T) {
 		t.Errorf("bar clamps below 0: %q", got)
 	}
 }
+
+// fleetMetrics is a 2-machine union snapshot with SLO families.
+func fleetMetrics() []telemetry.TextMetric {
+	lbl := func(kv ...string) map[string]string {
+		m := map[string]string{}
+		for i := 0; i+1 < len(kv); i += 2 {
+			m[kv[i]] = kv[i+1]
+		}
+		return m
+	}
+	return []telemetry.TextMetric{
+		{Name: "caer_engine_ticks_total", Value: 99},
+		{Name: "caer_core_pressure", Labels: lbl("machine", "0", "core", "0", "app", "mcf", "role", "latency"), Value: 700},
+		{Name: "caer_core_pressure", Labels: lbl("machine", "0", "core", "1", "app", "lbm", "role", "batch"), Value: 4000},
+		{Name: "caer_core_pressure", Labels: lbl("machine", "1", "core", "0", "app", "namd", "role", "latency"), Value: 120},
+		{Name: "caer_slo_state", Labels: lbl("machine", "0", "slo", "latency-mcf"), Value: 2},
+		{Name: "caer_slo_burn_fast", Labels: lbl("machine", "0", "slo", "latency-mcf"), Value: 3.5},
+		{Name: "caer_slo_burn_slow", Labels: lbl("machine", "0", "slo", "latency-mcf"), Value: 2.25},
+		{Name: "caer_slo_alerts_total", Labels: lbl("machine", "0", "slo", "latency-mcf"), Value: 1},
+		{Name: "caer_slo_state", Labels: lbl("machine", "1", "slo", "latency-namd"), Value: 0},
+		{Name: "caer_slo_evals_total", Labels: lbl("machine", "1"), Value: 99},
+	}
+}
+
+func TestRenderFleetMode(t *testing.T) {
+	var sb strings.Builder
+	if err := render(&sb, "x", fleetMetrics()); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"machine",     // machine column header appears in fleet mode
+		"m0", "m1",    // group labels
+		"alerts:",     // alerts pane
+		"latency-mcf", "firing", "3.50", "2.25",
+		"latency-namd", "inactive",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFilterMachine(t *testing.T) {
+	got := filterMachine(fleetMetrics(), "1")
+	for _, m := range got {
+		if v := m.Label("machine"); v != "" && v != "1" {
+			t.Fatalf("filter kept machine %q: %+v", v, m)
+		}
+	}
+	// Unlabelled spine metrics survive the filter.
+	found := false
+	for _, m := range got {
+		if m.Name == "caer_engine_ticks_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("filter dropped the unlabelled process-global series")
+	}
+	var sb strings.Builder
+	if err := render(&sb, "x", got); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "mcf") || !strings.Contains(out, "namd") {
+		t.Errorf("-machine 1 view should show only machine 1:\n%s", out)
+	}
+}
+
+func TestRenderNonFleetHasNoMachineColumn(t *testing.T) {
+	var sb strings.Builder
+	if err := render(&sb, "x", sampleMetrics()); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "machine") || strings.Contains(out, "alerts:") {
+		t.Errorf("single-machine render grew fleet chrome:\n%s", out)
+	}
+}

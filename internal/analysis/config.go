@@ -175,12 +175,33 @@ func DefaultConfig() *Config {
 			"sched.Scheduler.AppAggressiveness",
 			// Mergeable-histogram accumulation on the harvest path.
 			"stats.Histogram.Add",
+			// Time-series ring: the per-period sample sweep and the windowed
+			// queries the SLO engine runs every evaluation (DESIGN.md §15).
+			// Ring growth (extend) is the documented amortized cold barrier.
+			"telemetry.Series.Sample", "telemetry.Series.sampleTrack",
+			"telemetry.Series.clampWindow",
+			"telemetry.Series.RateAt", "telemetry.Series.Rate",
+			"telemetry.Series.MeanAt", "telemetry.Series.Mean",
+			"telemetry.Series.OverShareAt", "telemetry.Series.OverShare",
+			// SLO burn-rate engine, evaluated once per node tick.
+			"slo.Engine.Evaluate", "slo.Engine.step", "slo.burnAt",
+			// Per-tick node telemetry sync (series sample + SLO eval) and the
+			// metrics-fed placer's scoring path.
+			"fleet.Node.syncTelemetry", "fleet.Cluster.fillTelViews",
+			"fleet.telState.fresh", "fleet.telemetryPlacer.Place",
+			"fleet.telemetryScore",
+			// Scheduler accessors the node telemetry sync polls per period.
+			"sched.Scheduler.LatencySignals", "sched.Scheduler.DegradedTicks",
+			"sched.Scheduler.LatencyApps",
 		},
 		AllocFuncs: []string{
 			"Slot.Samples", "ShmTable.Samples", "Window.Snapshot",
 			"Table.Slots", "Table.SlotsByRole", "EventLog.Events",
 			"SpanRecorder.Spans", "SpanRecorder.ChromeEvents",
 			"Registry.WritePrometheus", "Histogram.Snapshot",
+			"Series.Tracks", "Series.WindowHistogramAt",
+			"Series.QuantileOverAt", "Series.QuantileOver",
+			"Series.WriteDump",
 		},
 		EnumTypes: []string{
 			"comm.Directive", "comm.Role",
@@ -190,6 +211,8 @@ func DefaultConfig() *Config {
 			"experiments.FaultKind",
 			"sched.Policy", "sched.JobState", "sched.DecisionKind",
 			"fleet.Policy", "fleet.JobState", "fleet.Curve",
+			"fleet.DecisionKind",
+			"slo.ObjectiveKind", "slo.AlertState",
 			"telemetry.MetricKind", "telemetry.SpanKind",
 			"analysis.EdgeKind",
 		},
@@ -218,6 +241,14 @@ func DefaultConfig() *Config {
 			// hot/cold split).
 			"fleet.Cluster.arrive", "fleet.Cluster.dispatchTo",
 			"fleet.Cluster.maybeMigrate", "fleet.Cluster.finishRequest",
+			// Amortized scrape barrier: runs once every ScrapePeriod ticks
+			// and parses/derives whole text snapshots by documented design
+			// (DESIGN.md §15's pull model); the per-tick loop around it is
+			// hot.
+			"fleet.Cluster.scrapeAll",
+			// Series ring growth: amortized doubling when a registry gains
+			// tracks, never on the steady-state sample path.
+			"telemetry.Series.extend",
 		},
 		DeterministicPkgs: []string{"machine", "mem", "sched", "caer", "fleet"},
 		DeterministicFuncs: []string{
@@ -229,6 +260,7 @@ func DefaultConfig() *Config {
 			"experiments.PerfReport.Table", "experiments.PerfReport.WriteJSON",
 			"experiments.SamplingReport.Table", "experiments.SamplingReport.WriteJSON",
 			"experiments.FleetRegime.Table", "experiments.FleetRegime.WriteJSON",
+			"experiments.SLORegime.Table", "experiments.SLORegime.WriteJSON",
 			"experiments.marshalComparable",
 		},
 		MetricNames: []string{
@@ -259,6 +291,12 @@ func DefaultConfig() *Config {
 			"caer_fleet_node_dispatches_total", "caer_fleet_node_completions_total",
 			"caer_fleet_node_withdrawals_total", "caer_fleet_node_queue_depth",
 			"caer_fleet_node_sojourn_periods",
+			"caer_fleet_node_free_cores", "caer_fleet_node_sensitivity",
+			"caer_fleet_node_batch_load", "caer_fleet_node_degraded_ticks_total",
+			"caer_fleet_request_latency_periods",
+			"caer_series_samples_total", "caer_series_tracks",
+			"caer_slo_state", "caer_slo_burn_fast", "caer_slo_burn_slow",
+			"caer_slo_alerts_total", "caer_slo_evals_total",
 		},
 	}
 }

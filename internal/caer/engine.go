@@ -58,9 +58,13 @@ type Engine struct {
 	watchdog int
 
 	// Span bookkeeping for the telemetry trace: the engine's lane is its
-	// own slot ID, and each in-flight detection protocol / hold / degraded
-	// stretch remembers its start period so the closing tick can record a
-	// single span covering the whole phase.
+	// own slot ID (re-homed by SetSpans for fleet runs, where N machines
+	// share a ring and raw slot ids would collide), and each in-flight
+	// detection protocol / hold / degraded stretch remembers its start
+	// period so the closing tick can record a single span covering the
+	// whole phase.
+	spans         *telemetry.SpanRecorder
+	laneName      string
 	track         int32
 	detActive     bool
 	detStart      uint64
@@ -96,9 +100,28 @@ func NewEngine(det Detector, resp Responder, own *comm.Slot, neighbors []*comm.S
 	ns := make([]*comm.Slot, len(neighbors))
 	copy(ns, neighbors)
 	e := &Engine{det: det, resp: resp, ownSlot: own, neighborSlots: ns,
-		log: NewEventLog(engineLogCapacity), track: int32(own.ID())}
-	telemetry.DefaultSpans.NameTrack(e.track, "batch/"+own.Name())
+		log: NewEventLog(engineLogCapacity), track: int32(own.ID()),
+		spans: telemetry.DefaultSpans, laneName: "batch/" + own.Name()}
+	e.spans.NameTrack(e.track, e.laneName)
 	return e
+}
+
+// SetSpans re-homes the engine's telemetry spans onto a different recorder
+// and track, naming the lane prefix+"batch/<app>" there. The fleet layer
+// uses this to give machine k's engines the k*stride track block of a
+// shared ring instead of the process-default recorder, where raw slot ids
+// collide across machines. Must be called before the first Tick so every
+// span of the engine's history lands on one lane.
+func (e *Engine) SetSpans(spans *telemetry.SpanRecorder, track int32, prefix string) {
+	if e.stats.Periods > 0 {
+		panic("caer: SetSpans after the first Tick")
+	}
+	if spans == nil {
+		panic("caer: SetSpans needs a recorder")
+	}
+	e.spans = spans
+	e.track = track
+	e.spans.NameTrack(track, prefix+e.laneName)
 }
 
 // SetLogCapacity resizes the engine's decision log to keep the most recent
@@ -198,7 +221,7 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 	neighbor := e.LastNeighbor()
 	e.stats.Periods++
 	period := e.stats.Periods - 1
-	telemetry.DefaultSpans.Record(e.track, telemetry.SpanPublish, period, 1, ownMisses)
+	e.spans.Record(e.track, telemetry.SpanPublish, period, 1, ownMisses)
 
 	// Watchdog: a dead neighbour publisher freezes its window, and a
 	// frozen-high window would wedge the batch in DirectivePause forever
@@ -215,7 +238,7 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 				e.det.Reset()
 				e.resp.Reset()
 				e.log.Append(Event{Period: period, Kind: EventRecovered, NeighborMisses: neighbor})
-				telemetry.DefaultSpans.Record(e.track, telemetry.SpanDegraded,
+				e.spans.Record(e.track, telemetry.SpanDegraded,
 					e.degradedStart, uint32(period-e.degradedStart), 0)
 			} else {
 				e.stats.DegradedTicks++
@@ -297,7 +320,7 @@ func (e *Engine) Tick(ownMisses float64) comm.Directive {
 		telemetry.EngineVerdictClear.Inc()
 	}
 	e.recordShutterSpan(period)
-	telemetry.DefaultSpans.Record(e.track, telemetry.SpanDetect,
+	e.spans.Record(e.track, telemetry.SpanDetect,
 		e.detStart, uint32(period-e.detStart+1), verdictVal)
 	e.detActive = false
 	e.log.Append(Event{Period: period, Kind: EventVerdict, Verdict: v,
@@ -330,7 +353,7 @@ func (e *Engine) recordHoldSpan(end uint64) {
 	if n == 0 {
 		n = 1
 	}
-	telemetry.DefaultSpans.Record(e.track, telemetry.SpanHold, e.holdStart, uint32(n), val)
+	e.spans.Record(e.track, telemetry.SpanHold, e.holdStart, uint32(n), val)
 	telemetry.EngineHoldPeriods.Observe(float64(n))
 }
 
@@ -345,7 +368,7 @@ func (e *Engine) recordShutterSpan(end uint64) {
 	if n == 0 {
 		n = 1
 	}
-	telemetry.DefaultSpans.Record(e.track, telemetry.SpanShutter, e.shutterStart, uint32(n), 0)
+	e.spans.Record(e.track, telemetry.SpanShutter, e.shutterStart, uint32(n), 0)
 }
 
 func (e *Engine) finishTick() {

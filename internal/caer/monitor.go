@@ -16,10 +16,13 @@ type Monitor struct {
 	slot *comm.Slot
 	down bool
 	// track/period drive the telemetry probe spans: the monitor's lane is
-	// its slot ID, and period counts its own ticks (down ticks included) so
-	// the lane stays aligned with the engines', which tick every period.
-	track  int32
-	period uint64
+	// its slot ID (re-homed by SetSpans for fleet runs), and period counts
+	// its own ticks (down ticks included) so the lane stays aligned with
+	// the engines', which tick every period.
+	spans    *telemetry.SpanRecorder
+	laneName string
+	track    int32
+	period   uint64
 }
 
 // NewMonitor binds a PMU view to a latency-sensitive table slot. It panics
@@ -31,9 +34,25 @@ func NewMonitor(p *pmu.PMU, slot *comm.Slot) *Monitor {
 	if slot == nil || slot.Role() != comm.RoleLatency {
 		panic("caer: monitor's slot must be latency-sensitive")
 	}
-	m := &Monitor{pmu: p, slot: slot, track: int32(slot.ID())}
-	telemetry.DefaultSpans.NameTrack(m.track, "latency/"+slot.Name())
+	m := &Monitor{pmu: p, slot: slot, track: int32(slot.ID()),
+		spans: telemetry.DefaultSpans, laneName: "latency/" + slot.Name()}
+	m.spans.NameTrack(m.track, m.laneName)
 	return m
+}
+
+// SetSpans re-homes the monitor's probe spans onto a different recorder
+// and track (see Engine.SetSpans — the fleet layer's per-machine track
+// blocks). Must be called before the first Tick.
+func (m *Monitor) SetSpans(spans *telemetry.SpanRecorder, track int32, prefix string) {
+	if m.period > 0 {
+		panic("caer: SetSpans after the first Tick")
+	}
+	if spans == nil {
+		panic("caer: SetSpans needs a recorder")
+	}
+	m.spans = spans
+	m.track = track
+	m.spans.NameTrack(track, prefix+m.laneName)
 }
 
 // Slot returns the monitor's table slot.
@@ -74,5 +93,5 @@ func (m *Monitor) TickSpan(elapsed uint64) {
 	}
 	v := float64(m.pmu.ReadDelta(pmu.EventLLCMisses)) / float64(elapsed)
 	m.slot.Publish(v)
-	telemetry.DefaultSpans.Record(m.track, telemetry.SpanProbe, m.period-1, 1, v)
+	m.spans.Record(m.track, telemetry.SpanProbe, m.period-1, 1, v)
 }

@@ -571,9 +571,9 @@ func (rt *Runtime) wake(fired int) {
 		rt.sstats.TriggerFires++
 	}
 	for _, eng := range rt.engines {
-		telemetry.DefaultSpans.Record(eng.track, telemetry.SpanArmed, rt.armedStart, uint32(n), val)
+		eng.spans.Record(eng.track, telemetry.SpanArmed, rt.armedStart, uint32(n), val)
 		if fired > 0 {
-			telemetry.DefaultSpans.Record(eng.track, telemetry.SpanFired, now, 1, float64(fired))
+			eng.spans.Record(eng.track, telemetry.SpanFired, now, 1, float64(fired))
 		}
 	}
 	telemetry.SamplingInterval.Set(1)

@@ -18,11 +18,13 @@
 package fleet
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"caer/internal/machine"
 	"caer/internal/sched"
+	"caer/internal/slo"
 	"caer/internal/spec"
 	"caer/internal/stats"
 	"caer/internal/telemetry"
@@ -125,6 +127,26 @@ type Config struct {
 	MigrateMargin int
 	// MaxPeriods bounds Run as a safety valve; default 1,000,000.
 	MaxPeriods int
+	// SLO declares the per-node burn-rate objectives (zero disables the
+	// engines; the per-node time-series stores always run).
+	SLO SLOConfig
+	// SeriesCapacity sizes each node's per-metric time-series rings, in
+	// periods; default 512.
+	SeriesCapacity int
+	// ScrapePeriod is how often, in ticks, PolicyTelemetry scrapes every
+	// node's exported registry; default 16. Other policies never scrape.
+	ScrapePeriod int
+	// StalenessHorizon is the scrape age, in ticks, past which a machine's
+	// telemetry view is distrusted and PolicyTelemetry scores it with the
+	// synchronous least-pressure fallback; default 4*ScrapePeriod.
+	StalenessHorizon int
+	// Scraper overrides the metric transport (tests inject outages);
+	// default reads each node's registry directly.
+	Scraper Scraper
+	// Spans is the span recorder the whole fleet records into (schedulers,
+	// engines, monitors, SLO alert lanes). nil uses telemetry.DefaultSpans;
+	// the bench suites pass a private ring so artifacts are self-contained.
+	Spans *telemetry.SpanRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +159,16 @@ func (c Config) withDefaults() Config {
 	if c.MaxPeriods == 0 {
 		c.MaxPeriods = 1_000_000
 	}
+	if c.SeriesCapacity == 0 {
+		c.SeriesCapacity = 512
+	}
+	if c.ScrapePeriod == 0 {
+		c.ScrapePeriod = 16
+	}
+	if c.StalenessHorizon == 0 {
+		c.StalenessHorizon = 4 * c.ScrapePeriod
+	}
+	c.SLO = c.SLO.withDefaults()
 	return c
 }
 
@@ -148,7 +180,8 @@ type service struct {
 	proc      *machine.Process
 	lastStart int // fleet tick the current request began
 	requests  int
-	latency   *stats.Histogram // request durations, periods
+	latency   *stats.Histogram     // request durations, periods
+	tel       *telemetry.Histogram // same durations, exported per service
 }
 
 // Node is one fleet machine: the simulated hardware, its scheduler, its
@@ -169,6 +202,20 @@ type Node struct {
 	withdrawals *telemetry.Counter
 	queueDepth  *telemetry.Gauge
 	sojournTel  *telemetry.Histogram
+
+	// Observability v2: the exported placement signals PolicyTelemetry
+	// scrapes, the per-period time-series store, and the SLO engine.
+	freeCoresG   *telemetry.Gauge
+	sensitivityG *telemetry.Gauge
+	batchLoadG   *telemetry.Gauge
+	pressureG    []*telemetry.Gauge // caer_core_pressure, one per latency app
+	degraded     *telemetry.Counter
+	lastDegraded uint64
+	pressureBuf  []float64
+	sensBuf      []float64
+	sum          sched.Summary
+	series       *telemetry.Series
+	slo          *slo.Engine
 }
 
 // Sched exposes the machine's scheduler (decision log, reports) for
@@ -196,6 +243,15 @@ type Cluster struct {
 
 	tick       int
 	migrations int
+
+	// Telemetry control plane (see telemetry.go).
+	scraper   Scraper
+	scrapeBuf bytes.Buffer
+	tel       []telState
+	decisions []Decision
+	// migrateFrom marks an in-flight cross-machine migration so dispatchTo
+	// logs it as such; -1 outside maybeMigrate.
+	migrateFrom int
 }
 
 // New builds the cluster: machines, services, scheduler per machine, and
@@ -210,10 +266,19 @@ func New(cfg Config) *Cluster {
 		panic("fleet: traffic needs a non-empty job mix")
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		placer:  cfg.Policy.NewPlacer(),
-		traffic: newDriver(cfg.Traffic, cfg.Seed-1),
-		views:   make([]NodeView, len(cfg.Machines)),
+		cfg:         cfg,
+		placer:      cfg.Policy.NewPlacer(),
+		traffic:     newDriver(cfg.Traffic, cfg.Seed-1),
+		views:       make([]NodeView, len(cfg.Machines)),
+		tel:         make([]telState, len(cfg.Machines)),
+		migrateFrom: -1,
+	}
+	for k := range c.tel {
+		c.tel[k].lastTick = -1
+	}
+	c.scraper = cfg.Scraper
+	if c.scraper == nil {
+		c.scraper = registryScraper{c}
 	}
 	multi := len(cfg.Machines) > 1
 	for k, ms := range cfg.Machines {
@@ -231,6 +296,7 @@ func newNode(k int, ms MachineSpec, cfg *Config, multi bool) *Node {
 	m := machine.New(machine.Config{Cores: ms.Cores, Domains: ms.Domains, Workers: ms.Workers})
 	scfg := cfg.Sched
 	scfg.TrackOffset = int32(k) * trackStride
+	scfg.Spans = cfg.Spans
 	if multi {
 		scfg.TrackPrefix = fmt.Sprintf("m%d/", k)
 	}
@@ -266,7 +332,52 @@ func newNode(k int, ms MachineSpec, cfg *Config, multi bool) *Node {
 			relaunch: sv.Relaunch,
 			proc:     proc,
 			latency:  stats.NewHistogram(0, latencyHistMax, latencyHistBuckets),
+			tel: n.reg.Histogram("caer_fleet_request_latency_periods",
+				"open-loop request duration on this machine, in periods",
+				0, latencyHistMax, latencyHistBuckets, "service", name),
 		})
+	}
+
+	// The exported placement signals (observability v2): PolicyTelemetry
+	// reads these — not the classifier — so every signal the placer acts
+	// on must be a registered series.
+	n.freeCoresG = n.reg.Gauge("caer_fleet_node_free_cores", "unoccupied batch cores on this machine")
+	n.sensitivityG = n.reg.Gauge("caer_fleet_node_sensitivity", "summed classifier sensitivity of this machine's latency apps")
+	n.batchLoadG = n.reg.Gauge("caer_fleet_node_batch_load", "summed classifier aggressiveness of this machine's resident batch jobs")
+	n.degraded = n.reg.Counter("caer_fleet_node_degraded_ticks_total", "fail-open degraded periods summed over this machine's CAER engines")
+	apps := n.sched.LatencyApps()
+	n.pressureBuf = make([]float64, apps)
+	n.sensBuf = make([]float64, apps)
+	for _, sv := range n.services {
+		n.pressureG = append(n.pressureG, n.reg.Gauge("caer_core_pressure",
+			"normalized windowed LLC-miss pressure of the core's latency app",
+			"app", sv.name, "core", fmt.Sprintf("%d", sv.core), "role", "latency"))
+	}
+
+	// The time-series store samples every registered metric once per tick;
+	// the SLO engine reads it. Both register their own export families, so
+	// they come last — the first Sample absorbs them via one cold extend.
+	n.series = telemetry.NewSeries(n.reg, cfg.SeriesCapacity)
+	if cfg.SLO.enabled() {
+		if objs := cfg.SLO.objectives(n); len(objs) > 0 {
+			spans := cfg.Spans
+			if spans == nil {
+				spans = telemetry.DefaultSpans
+			}
+			track := int32(k)*trackStride + trackStride - 1
+			prefix := ""
+			if multi {
+				prefix = fmt.Sprintf("m%d/", k)
+			}
+			spans.NameTrack(track, prefix+"slo")
+			n.slo = slo.NewEngine(slo.Config{
+				Series:     n.series,
+				Objectives: objs,
+				Registry:   n.reg,
+				Spans:      spans,
+				Track:      track,
+			})
+		}
 	}
 	return n
 }
@@ -282,6 +393,9 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // allocation-free, with arrivals, dispatch commits, migration, and
 // request relaunches delegated to the documented cold barriers.
 func (c *Cluster) Tick() {
+	if c.cfg.Policy == PolicyTelemetry && c.tick%c.cfg.ScrapePeriod == 0 {
+		c.scrapeAll()
+	}
 	if n := c.traffic.arrivals(c.tick); n > 0 {
 		c.arrive(n)
 	}
@@ -292,6 +406,9 @@ func (c *Cluster) Tick() {
 	}
 	c.tick++
 	c.harvest()
+	for _, n := range c.nodes {
+		n.syncTelemetry()
+	}
 	telemetry.FleetTicks.Inc()
 }
 
@@ -345,6 +462,7 @@ func (c *Cluster) fillViews(name string) {
 		}
 		c.views[k].Aggr = aggr
 	}
+	c.fillTelViews()
 }
 
 // dispatchTo submits fleet job ji to machine k. Cold path: Submit
@@ -365,6 +483,14 @@ func (c *Cluster) dispatchTo(k, ji int) {
 	c.live = append(c.live, ji)
 	n.dispatches.Inc()
 	telemetry.FleetDispatches.Inc()
+	kind, from := DecisionDispatch, -1
+	if c.migrateFrom >= 0 {
+		kind, from = DecisionMigrate, c.migrateFrom
+	}
+	c.decisions = append(c.decisions, Decision{
+		Tick: c.tick, Kind: kind, Job: ji, Name: j.name, From: from, To: k,
+		Fresh: c.tel[k].fresh(c.tick, c.cfg.StalenessHorizon),
+	})
 }
 
 // maybeMigrate evaluates at most one cross-machine migration every
@@ -409,7 +535,9 @@ func (c *Cluster) maybeMigrate() {
 		j.migrations++
 		c.migrations++
 		telemetry.FleetMigrations.Inc()
+		c.migrateFrom = src
 		c.dispatchTo(dst, ji)
+		c.migrateFrom = -1
 		return
 	}
 }
@@ -462,7 +590,9 @@ func (c *Cluster) harvest() {
 // old one's cache state), process relaunched. Cold path: Relaunch
 // reseeds the process RNG.
 func (c *Cluster) finishRequest(n *Node, s *service) {
-	s.latency.Add(float64(c.tick - s.lastStart))
+	d := float64(c.tick - s.lastStart)
+	s.latency.Add(d)
+	s.tel.Observe(d)
 	s.requests++
 	n.m.FlushCore(s.core)
 	s.proc.Relaunch()

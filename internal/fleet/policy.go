@@ -24,6 +24,13 @@ const (
 	// PolicyPacked fills the lowest-numbered machine first — the
 	// consolidation baseline.
 	PolicyPacked
+	// PolicyTelemetry places by each machine's exported metrics — the
+	// scraped caer_core_pressure gauges, per-service latency histograms,
+	// and SLO burn state — instead of the synchronous classifier summary.
+	// A machine whose scrape is stale past the staleness horizon is scored
+	// with the least-pressure fallback, so a dead telemetry plane degrades
+	// the policy to PolicyLeastPressure rather than wedging placement.
+	PolicyTelemetry
 )
 
 // String names the policy.
@@ -35,6 +42,8 @@ func (p Policy) String() string {
 		return "least-pressure"
 	case PolicyPacked:
 		return "packed"
+	case PolicyTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -50,6 +59,9 @@ type NodeView struct {
 	// Aggr is the candidate job's classifier aggressiveness on this
 	// machine (the prior 0.5 when the machine has never run the program).
 	Aggr float64
+	// Tel is the machine's scraped-telemetry view (zero under policies
+	// that never scrape; Fresh=false then).
+	Tel TelView
 }
 
 // eligible reports whether the machine can absorb another dispatch: more
@@ -88,6 +100,8 @@ func (p Policy) NewPlacer() Placer {
 		return &leastPressurePlacer{}
 	case PolicyPacked:
 		return &packedPlacer{}
+	case PolicyTelemetry:
+		return &telemetryPlacer{}
 	default:
 		panic(fmt.Sprintf("fleet: unknown policy %d", int(p)))
 	}
@@ -130,6 +144,54 @@ func (leastPressurePlacer) Place(views []NodeView) int {
 			continue
 		}
 		s := interferenceScore(&views[k])
+		if best == -1 || s < bestScore {
+			best = k
+			bestScore = s
+		}
+	}
+	return best
+}
+
+// burnPenalty is the telemetry score surcharge per firing SLO alert: a
+// machine actively burning error budget repels new batch work outright —
+// one firing alert outweighs any pressure difference in [0, 2).
+const burnPenalty = 2.0
+
+// telemetryScore mirrors interferenceScore but sources every machine-side
+// term from the scraped metrics instead of the synchronous summary, and
+// adds what only telemetry can see: the observed request-latency tail and
+// the SLO burn state.
+func telemetryScore(v *NodeView) float64 {
+	return (v.Tel.Sensitivity+v.Tel.Pressure)*(0.4+v.Aggr) +
+		0.3*v.Tel.BatchLoad +
+		v.Tel.LatencyP99/latencyHistMax +
+		burnPenalty*float64(v.Tel.Burning)
+}
+
+// telemetryPlacer scores each eligible machine by its scraped metrics
+// when fresh, falling back per machine to the synchronous least-pressure
+// score when the scrape is stale past the horizon. With every machine
+// stale (total scrape outage) the policy is exactly PolicyLeastPressure —
+// same scores, same tie-breaks — which the staleness-fallback test pins.
+type telemetryPlacer struct{}
+
+func (telemetryPlacer) Name() string { return PolicyTelemetry.String() }
+
+func (telemetryPlacer) Commit(n int) {}
+
+func (telemetryPlacer) Place(views []NodeView) int {
+	best := -1
+	var bestScore float64
+	for k := range views {
+		if !views[k].eligible() {
+			continue
+		}
+		var s float64
+		if views[k].Tel.Fresh {
+			s = telemetryScore(&views[k])
+		} else {
+			s = interferenceScore(&views[k])
+		}
 		if best == -1 || s < bestScore {
 			best = k
 			bestScore = s

@@ -1,0 +1,223 @@
+package fleet_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"caer/internal/fleet"
+	"caer/internal/spec"
+	"caer/internal/telemetry"
+)
+
+// telFleetConfig is the shared metrics-fed fixture: two machines with
+// open-loop mcf/namd services, diurnal batch traffic, and the SLO engine
+// armed on every node. Placement matters (machines differ in resident
+// service), requests flow (Relaunch), and every node exports the full
+// telemetry plane the scraper reads.
+func telFleetConfig(policy fleet.Policy) fleet.Config {
+	return fleet.Config{
+		Machines: []fleet.MachineSpec{
+			{Cores: 8, Domains: 2,
+				Services: []fleet.Service{{Profile: prof("mcf", 40_000), Core: 0, Relaunch: true}}},
+			{Cores: 8, Domains: 2,
+				Services: []fleet.Service{{Profile: prof("namd", 40_000), Core: 0, Relaunch: true}}},
+		},
+		Sched:  identitySchedConfig(),
+		Policy: policy,
+		Traffic: fleet.Traffic{
+			Curve: fleet.CurveDiurnal, Rate: 0.4, Horizon: 1500,
+			Mix: []spec.Profile{prof("lbm", 50_000), prof("povray", 50_000)},
+		},
+		SLO: fleet.SLOConfig{
+			LatencyQuantile: 0.99, LatencyBound: 2048,
+			DegradedBudget: 0.25, Window: 64,
+		},
+		SeriesCapacity:   128,
+		ScrapePeriod:     8,
+		StalenessHorizon: 32,
+		Seed:             9,
+		MaxPeriods:       20_000,
+	}
+}
+
+// telFingerprint reduces a finished cluster to comparable bytes: job and
+// service reports plus the fleet decision log.
+func telFingerprint(t *testing.T, c *fleet.Cluster) []byte {
+	t.Helper()
+	rep := c.Report()
+	var sb strings.Builder
+	sb.Write(mustJSON(t, rep.Jobs))
+	sb.Write(mustJSON(t, rep.Services))
+	sb.Write(mustJSON(t, c.Decisions()))
+	return []byte(sb.String())
+}
+
+// TestPolicyTelemetryRuns pins the metrics-fed policy end to end: the
+// cluster drains, placement decisions record fresh scraped views, and two
+// identical runs are byte-identical (ParseText → view derivation → score
+// is deterministic).
+func TestPolicyTelemetryRuns(t *testing.T) {
+	run := func() (*fleet.Cluster, []byte) {
+		c := fleet.New(telFleetConfig(fleet.PolicyTelemetry))
+		c.Run()
+		return c, telFingerprint(t, c)
+	}
+	c, base := run()
+	rep := c.Report()
+	if rep.Completed != rep.Arrivals || rep.Arrivals == 0 {
+		t.Fatalf("%d of %d jobs completed", rep.Completed, rep.Arrivals)
+	}
+	ds := c.Decisions()
+	if len(ds) == 0 {
+		t.Fatal("empty fleet decision log")
+	}
+	fresh := 0
+	for _, d := range ds {
+		if d.Kind == fleet.DecisionDispatch && d.From != -1 {
+			t.Fatalf("dispatch decision %+v has a source machine", d)
+		}
+		if d.Fresh {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Error("no placement decision ever saw a fresh telemetry view")
+	}
+	if _, again := run(); !bytes.Equal(base, again) {
+		t.Fatal("two identical PolicyTelemetry runs diverged")
+	}
+}
+
+// TestTelemetryOutageMatchesLeastPressure is the staleness-fallback pin
+// from the acceptance list: with the scraper hard down, every machine is
+// stale past the horizon forever, so PolicyTelemetry must reproduce
+// PolicyLeastPressure exactly — same decision log, same per-job report.
+func TestTelemetryOutageMatchesLeastPressure(t *testing.T) {
+	cfg := telFleetConfig(fleet.PolicyTelemetry)
+	cfg.Scraper = fleet.ScraperFunc(func(int, io.Writer) error {
+		return errors.New("collector down")
+	})
+	out := fleet.New(cfg)
+	out.Run()
+	for _, d := range out.Decisions() {
+		if d.Fresh {
+			t.Fatalf("decision %+v marked fresh during a total scrape outage", d)
+		}
+	}
+	lp := fleet.New(telFleetConfig(fleet.PolicyLeastPressure))
+	lp.Run()
+	if !bytes.Equal(telFingerprint(t, out), telFingerprint(t, lp)) {
+		t.Fatal("scrape outage did not degrade PolicyTelemetry to PolicyLeastPressure")
+	}
+}
+
+// TestFleetEventsRoundTrip pins the decision-log dump caer-doctor reads:
+// every arrival appears as exactly one dispatch entry, and the JSON dump
+// re-encodes byte-identically after a parse.
+func TestFleetEventsRoundTrip(t *testing.T) {
+	c := fleet.New(telFleetConfig(fleet.PolicyTelemetry))
+	c.Run()
+	rep := c.Report()
+	dispatches := 0
+	for _, d := range c.Decisions() {
+		if d.Kind == fleet.DecisionDispatch {
+			dispatches++
+		}
+	}
+	if dispatches != rep.Arrivals {
+		t.Fatalf("%d dispatch decisions for %d arrivals", dispatches, rep.Arrivals)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteEvents(&buf); err != nil {
+		t.Fatalf("WriteEvents: %v", err)
+	}
+	d, err := fleet.ParseEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseEvents: %v", err)
+	}
+	if d.Policy != "telemetry" || d.Ticks != c.Ticks() {
+		t.Fatalf("parsed header policy=%q ticks=%d, want telemetry/%d", d.Policy, d.Ticks, c.Ticks())
+	}
+	if len(d.Machines) != 2 {
+		t.Fatalf("parsed %d machine logs, want 2", len(d.Machines))
+	}
+	enc := mustJSON(t, d)
+	if !bytes.Equal(append(enc, '\n'), buf.Bytes()) {
+		t.Error("events dump is not parse/re-encode stable")
+	}
+}
+
+// TestNodeTelemetryPlane pins the per-node observability plumbing: every
+// node samples its series once per tick, runs its SLO engine, and exports
+// the caer_series_* / caer_slo_* families through its registry — the
+// bytes the scraper, caer-top, and the doctor all consume.
+func TestNodeTelemetryPlane(t *testing.T) {
+	c := fleet.New(telFleetConfig(fleet.PolicyTelemetry))
+	c.Run()
+	for k, n := range c.Nodes() {
+		s := n.Series()
+		if s == nil || s.Samples() != c.Ticks() {
+			t.Fatalf("machine %d series sampled %d periods, want %d", k, s.Samples(), c.Ticks())
+		}
+		eng := n.SLO()
+		if eng == nil {
+			t.Fatalf("machine %d has no SLO engine despite SLOConfig", k)
+		}
+		if got := len(eng.Objectives()); got != 2 {
+			t.Fatalf("machine %d has %d objectives, want latency + degraded-budget", k, got)
+		}
+		var sb strings.Builder
+		if err := n.Registry().WritePrometheus(&sb); err != nil {
+			t.Fatalf("machine %d scrape: %v", k, err)
+		}
+		text := sb.String()
+		for _, name := range []string{
+			"caer_series_samples_total", "caer_series_tracks",
+			"caer_slo_state", "caer_slo_burn_slow", "caer_slo_evals_total",
+			"caer_fleet_node_degraded_ticks_total", "caer_core_pressure",
+		} {
+			if !strings.Contains(text, name) {
+				t.Errorf("machine %d snapshot missing %s", k, name)
+			}
+		}
+		ms, err := telemetry.ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("machine %d snapshot unparseable: %v", k, err)
+		}
+		for _, m := range ms {
+			if m.Name == "caer_slo_evals_total" && m.Value != float64(c.Ticks()) {
+				t.Errorf("machine %d ran %v SLO evals over %d ticks", k, m.Value, c.Ticks())
+			}
+		}
+	}
+}
+
+// TestNodeSeriesDumpReplayable pins the doctor's input contract: a node's
+// live series dump parses back and serves windowed queries over the same
+// metric names the SLO objectives reference.
+func TestNodeSeriesDumpReplayable(t *testing.T) {
+	c := fleet.New(telFleetConfig(fleet.PolicyTelemetry))
+	c.Run()
+	n := c.Nodes()[0]
+	var buf bytes.Buffer
+	if err := n.Series().WriteDump(&buf); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	parsed, err := telemetry.ParseSeries(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseSeries over live dump: %v", err)
+	}
+	if parsed.Samples() != n.Series().Samples() {
+		t.Fatalf("parsed %d samples, live has %d", parsed.Samples(), n.Series().Samples())
+	}
+	tr, ok := parsed.Lookup("caer_fleet_request_latency_periods", "service", "mcf")
+	if !ok {
+		t.Fatal("parsed series lost the mcf latency histogram track")
+	}
+	if q := parsed.QuantileOver(tr, parsed.Retained(), 0.99); q < 0 {
+		t.Fatalf("negative p99 %v from parsed series", q)
+	}
+}

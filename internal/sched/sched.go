@@ -126,6 +126,12 @@ type Config struct {
 	// which machine each lane belongs to. "" (the default) keeps
 	// single-machine lane names unchanged.
 	TrackPrefix string
+	// Spans is the recorder every span this scheduler (and the monitors
+	// and engines it builds) emits lands on. nil (the default) uses the
+	// process-wide telemetry.DefaultSpans; the fleet layer passes its own
+	// ring so a fleet run's trace is self-contained and deterministic
+	// regardless of what else the process records.
+	Spans *telemetry.SpanRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +224,8 @@ type Scheduler struct {
 	maxWait    int
 	period     uint64
 	started    bool
+	// spans is the resolved recorder (Config.Spans or DefaultSpans).
+	spans *telemetry.SpanRecorder
 }
 
 // New builds a scheduler over m. The machine should have at least one LLC
@@ -228,9 +236,14 @@ func New(m *machine.Machine, cfg Config) *Scheduler {
 	if err := cfg.Caer.Validate(); err != nil {
 		panic(err.Error())
 	}
+	spans := cfg.Spans
+	if spans == nil {
+		spans = telemetry.DefaultSpans
+	}
 	return &Scheduler{
 		m:          m,
 		cfg:        cfg,
+		spans:      spans,
 		table:      comm.NewTable(cfg.Caer.WindowSize),
 		placer:     cfg.Policy.NewPlacer(),
 		classifier: NewClassifier(cfg.PressureScale, cfg.Hysteresis),
@@ -352,6 +365,44 @@ func (s *Scheduler) Summarize(sum *Summary) {
 	}
 }
 
+// LatencyApps returns the number of hosted latency-sensitive apps.
+func (s *Scheduler) LatencyApps() int { return len(s.latency) }
+
+// Monitor returns latency app i's CAER-M monitor, in registration order —
+// the fault-injection hook (SetDown) the chaos and SLO suites script
+// monitor outages through, mirroring the runner's Monitors accessor.
+func (s *Scheduler) Monitor(i int) *caer.Monitor { return s.latency[i].mon }
+
+// LatencySignals fills per-latency-app placement signals in registration
+// order: pressure[i] is app i's normalized windowed LLC-miss pressure
+// (p/(p+PressureScale), the same term Summarize aggregates), and
+// sensitivity[i] its classifier sensitivity. Both slices must hold at
+// least LatencyApps entries. Allocation-free — the fleet telemetry export
+// calls it every period to keep its caer_core_pressure gauges live.
+func (s *Scheduler) LatencySignals(pressure, sensitivity []float64) {
+	for i := range s.latency {
+		la := &s.latency[i]
+		p := la.slot.WindowMean()
+		pressure[i] = p / (p + s.cfg.PressureScale)
+		sensitivity[i] = s.classifier.Sensitivity(la.app)
+	}
+}
+
+// DegradedTicks returns the lifetime fail-open degraded periods summed
+// over every CAER engine this scheduler has run, including engines
+// abandoned by migration. Allocation-free — the fleet telemetry export
+// polls it every period to drive a degraded-ticks budget SLO.
+func (s *Scheduler) DegradedTicks() uint64 {
+	var total uint64
+	for _, j := range s.jobs {
+		total += j.accStats.DegradedTicks
+		if j.engine != nil {
+			total += j.engine.Stats().DegradedTicks
+		}
+	}
+	return total
+}
+
 // Decisions returns a copy of the placement/admission timeline.
 func (s *Scheduler) Decisions() []Decision {
 	out := make([]Decision, len(s.decisions))
@@ -373,6 +424,8 @@ func (s *Scheduler) AddLatency(name string, core int, proc *machine.Process) {
 	}
 	s.m.Bind(core, proc)
 	slot := s.table.Register(name, comm.RoleLatency)
+	mon := caer.NewMonitor(pmu.New(s.m, core), slot)
+	mon.SetSpans(s.spans, s.track(slot), s.cfg.TrackPrefix)
 	s.latency = append(s.latency, latApp{
 		name:   name,
 		core:   core,
@@ -380,7 +433,7 @@ func (s *Scheduler) AddLatency(name string, core int, proc *machine.Process) {
 		app:    s.classifier.AddApp(name),
 		proc:   proc,
 		slot:   slot,
-		mon:    caer.NewMonitor(pmu.New(s.m, core), slot),
+		mon:    mon,
 		pmu:    pmu.New(s.m, core),
 	})
 }
@@ -409,7 +462,7 @@ func (s *Scheduler) Submit(j Job) int {
 		core:   -1,
 		domain: -1,
 	}
-	telemetry.DefaultSpans.NameTrack(s.track(js.slot), s.cfg.TrackPrefix+"job/"+j.Name)
+	s.spans.NameTrack(s.track(js.slot), s.cfg.TrackPrefix+"job/"+j.Name)
 	s.jobs = append(s.jobs, js)
 	id := len(s.jobs) - 1
 	if s.started {
@@ -620,7 +673,7 @@ func (s *Scheduler) finishJobs() {
 		if residency == 0 {
 			residency = 1
 		}
-		telemetry.DefaultSpans.Record(s.track(j.slot), telemetry.SpanJob,
+		s.spans.Record(s.track(j.slot), telemetry.SpanJob,
 			j.admitted, uint32(residency), float64(j.migrations))
 		s.decisions = append(s.decisions, Decision{
 			Period: s.period, Kind: DecisionComplete, Job: i, Name: j.spec.Name,
@@ -698,7 +751,7 @@ func (s *Scheduler) admitTo(head int, j *jobState, d int, aged bool) {
 		telemetry.SchedAgedBypasses.Inc()
 	}
 	if j.waited > 0 {
-		telemetry.DefaultSpans.Record(s.track(j.slot), telemetry.SpanQueued,
+		s.spans.Record(s.track(j.slot), telemetry.SpanQueued,
 			s.period-uint64(j.waited), uint32(j.waited), float64(s.queue.len()))
 	}
 	s.decisions = append(s.decisions, Decision{
@@ -720,6 +773,7 @@ func (s *Scheduler) newEngine(j *jobState, d int) *caer.Engine {
 		s.cfg.Heuristic.NewResponder(s.cfg.Caer),
 		j.slot, neighbors)
 	eng.SetWatchdog(s.cfg.Caer.WatchdogPeriods)
+	eng.SetSpans(s.spans, s.track(j.slot), s.cfg.TrackPrefix)
 	return eng
 }
 

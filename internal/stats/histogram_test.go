@@ -136,3 +136,43 @@ func TestHistogramInvariantsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: quantiles are merge-invariant — splitting one sample stream
+// across k same-geometry histograms and merging them reproduces the
+// single-histogram quantiles exactly. This is the contract the SLO
+// engine, the fleet's scraped-bucket p99, and the doctor all lean on when
+// they merge per-service or per-machine distributions before calling
+// Quantile.
+func TestQuantileMergeInvarianceProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 800)
+		k := int(kRaw%4) + 2
+		whole := NewHistogram(0, 100, 25)
+		parts := make([]*Histogram, k)
+		for i := range parts {
+			parts[i] = NewHistogram(0, 100, 25)
+		}
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64()*35 + 50 // includes under/overflow samples
+			whole.Add(v)
+			parts[rng.Intn(k)].Add(v)
+		}
+		merged := parts[0]
+		for _, part := range parts[1:] {
+			merged.Merge(part)
+		}
+		if merged.N() != whole.N() {
+			return false
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if merged.Quantile(q) != whole.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

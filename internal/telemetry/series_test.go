@@ -1,0 +1,360 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesCounterDeltas(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("caer_test_events_total", "events")
+	s := NewSeries(reg, 8)
+
+	c.Add(3)
+	s.Sample()
+	c.Add(5)
+	s.Sample()
+	s.Sample() // no activity
+
+	ref, ok := s.Lookup("caer_test_events_total")
+	if !ok {
+		t.Fatal("counter track not found")
+	}
+	if got := s.Rate(ref, 3); got != (3+5+0)/3.0 {
+		t.Fatalf("Rate over 3 = %v, want %v", got, 8.0/3)
+	}
+	if got := s.Rate(ref, 1); got != 0 {
+		t.Fatalf("Rate over last 1 = %v, want 0", got)
+	}
+	if got := s.Rate(ref, 2); got != 2.5 {
+		t.Fatalf("Rate over last 2 = %v, want 2.5", got)
+	}
+	// Window wider than history clamps.
+	if got := s.Rate(ref, 100); got != 8.0/3 {
+		t.Fatalf("clamped Rate = %v, want %v", got, 8.0/3)
+	}
+}
+
+func TestSeriesGaugePoints(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("caer_test_level", "level")
+	s := NewSeries(reg, 4)
+	ref, _ := s.Lookup("caer_test_level")
+
+	for _, v := range []float64{1, 2, 3, 4, 5, 6} {
+		g.Set(v)
+		s.Sample()
+	}
+	// Capacity 4: retained window is samples 2..5 → values 3,4,5,6.
+	if got := s.Mean(ref, 4); got != 4.5 {
+		t.Fatalf("Mean over retained = %v, want 4.5", got)
+	}
+	if got := s.Mean(ref, 2); got != 5.5 {
+		t.Fatalf("Mean over last 2 = %v, want 5.5", got)
+	}
+	if s.FirstRetained() != 2 || s.Samples() != 6 {
+		t.Fatalf("retention bookkeeping: first %d samples %d", s.FirstRetained(), s.Samples())
+	}
+}
+
+func TestSeriesHistogramWindows(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("caer_test_latency", "latency", 0, 100, 10)
+	s := NewSeries(reg, 16)
+	ref, _ := s.Lookup("caer_test_latency")
+
+	// Period 0: fast observations only.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	s.Sample()
+	// Period 1: half the observations over 50.
+	for i := 0; i < 5; i++ {
+		h.Observe(5)
+		h.Observe(75)
+	}
+	s.Sample()
+
+	if got := s.OverShare(ref, 1, 50); got != 0.5 {
+		t.Fatalf("OverShare last period = %v, want 0.5", got)
+	}
+	if got := s.OverShare(ref, 2, 50); got != 0.25 {
+		t.Fatalf("OverShare both periods = %v, want 0.25", got)
+	}
+	// A bound on a bucket edge counts that bucket as over; a bound inside
+	// a bucket leaves the straddling bucket good.
+	if got := s.OverShare(ref, 1, 70); got != 0.5 {
+		t.Fatalf("OverShare bound 70 = %v, want 0.5 (bucket [70,80) is over)", got)
+	}
+	if got := s.OverShare(ref, 1, 71); got != 0 {
+		t.Fatalf("OverShare bound 71 = %v, want 0 (straddling bucket is good)", got)
+	}
+	// Overflow always counts as over.
+	h.Observe(1000)
+	s.Sample()
+	if got := s.OverShare(ref, 1, 99); got != 1.0 {
+		t.Fatalf("OverShare overflow = %v, want 1", got)
+	}
+	// Empty window → no burn.
+	s.Sample()
+	if got := s.OverShare(ref, 1, 50); got != 0 {
+		t.Fatalf("OverShare of empty window = %v, want 0", got)
+	}
+
+	// Windowed quantile over the first two periods: 20 observations, 15 at
+	// 5 and 5 at 75; p50 lands in the [0,10) bucket.
+	q := s.QuantileOverAt(ref, 2, 2, 0.5)
+	if q < 0 || q >= 10 {
+		t.Fatalf("windowed p50 = %v, want in [0,10)", q)
+	}
+	q99 := s.QuantileOverAt(ref, 2, 2, 0.99)
+	if q99 < 70 || q99 > 80 {
+		t.Fatalf("windowed p99 = %v, want in [70,80]", q99)
+	}
+	// Mean: sum deltas / count deltas.
+	mean := s.MeanAt(ref, 2, 2)
+	want := (10*5 + 5*5 + 5*75) / 20.0
+	if math.Abs(mean-want) > 1e-9 {
+		t.Fatalf("windowed mean = %v, want %v", mean, want)
+	}
+}
+
+func TestSeriesLateRegistration(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("caer_test_a_total", "a")
+	s := NewSeries(reg, 8)
+	c.Inc()
+	s.Sample()
+
+	// Register after construction: picked up on the next Sample.
+	late := reg.Counter("caer_test_b_total", "b")
+	late.Add(7)
+	s.Sample()
+
+	ref, ok := s.Lookup("caer_test_b_total")
+	if !ok {
+		t.Fatal("late counter track not found after Sample")
+	}
+	// The delta baseline for a late counter is its value at extend time, so
+	// the 7 pre-extend increments never appear as a spike... they were
+	// absorbed into the baseline. Only post-extend increments count.
+	late.Add(2)
+	s.Sample()
+	if got := s.Rate(ref, 1); got != 2 {
+		t.Fatalf("late counter rate = %v, want 2", got)
+	}
+}
+
+func TestSeriesSampleAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("caer_test_events_total", "events")
+	g := reg.Gauge("caer_test_level", "level")
+	h := reg.Histogram("caer_test_latency", "latency", 0, 100, 16)
+	s := NewSeries(reg, 32)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(50)
+		s.Sample()
+	})
+	if allocs != 0 {
+		t.Fatalf("Series.Sample allocates %v per period, want 0", allocs)
+	}
+}
+
+func TestSeriesQueryAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("caer_test_events_total", "events")
+	h := reg.Histogram("caer_test_latency", "latency", 0, 100, 16)
+	s := NewSeries(reg, 32)
+	for i := 0; i < 40; i++ {
+		c.Inc()
+		h.Observe(float64(i % 100))
+		s.Sample()
+	}
+	cref, _ := s.Lookup("caer_test_events_total")
+	href, _ := s.Lookup("caer_test_latency")
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = s.Rate(cref, 16)
+		_ = s.Mean(cref, 16)
+		_ = s.OverShare(href, 16, 50)
+	})
+	if allocs != 0 {
+		t.Fatalf("windowed queries allocate %v, want 0", allocs)
+	}
+}
+
+// buildDumpSeries drives a representative mixed workload for round-trip
+// tests: wrapped rings, labels, all three kinds.
+func buildDumpSeries(t *testing.T) *Series {
+	t.Helper()
+	reg := NewRegistry()
+	c := reg.Counter("caer_test_events_total", "events", "svc", "mcf")
+	g := reg.Gauge("caer_test_level", "level")
+	h := reg.Histogram("caer_test_latency", "latency", 0, 100, 8, "svc", "mcf")
+	s := NewSeries(reg, 4)
+	for i := 0; i < 7; i++ {
+		c.Add(uint64(i))
+		g.Set(float64(i) * 1.5)
+		h.Observe(float64(i * 13 % 100))
+		if i%2 == 0 {
+			h.Observe(250) // overflow
+		}
+		s.Sample()
+	}
+	return s
+}
+
+func TestSeriesDumpRoundTrip(t *testing.T) {
+	s := buildDumpSeries(t)
+	var buf bytes.Buffer
+	if err := s.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+
+	p, err := ParseSeries(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("ParseSeries: %v\n%s", err, first)
+	}
+	if p.Samples() != s.Samples() || p.Capacity() != s.Capacity() {
+		t.Fatalf("parsed geometry %d/%d, want %d/%d", p.Samples(), p.Capacity(), s.Samples(), s.Capacity())
+	}
+
+	// Queries agree between live and parsed stores.
+	for _, name := range []string{"caer_test_events_total", "caer_test_latency"} {
+		lr, ok1 := s.Lookup(name, "svc", "mcf")
+		pr, ok2 := p.Lookup(name, "svc", "mcf")
+		if !ok1 || !ok2 {
+			t.Fatalf("lookup %s: live %v parsed %v", name, ok1, ok2)
+		}
+		if s.Kind(lr) != p.Kind(pr) {
+			t.Fatalf("%s kind mismatch", name)
+		}
+	}
+	lc, _ := s.Lookup("caer_test_events_total", "svc", "mcf")
+	pc, _ := p.Lookup("caer_test_events_total", "svc", "mcf")
+	if a, b := s.Rate(lc, 4), p.Rate(pc, 4); a != b {
+		t.Fatalf("rate mismatch live %v parsed %v", a, b)
+	}
+	lh, _ := s.Lookup("caer_test_latency", "svc", "mcf")
+	ph, _ := p.Lookup("caer_test_latency", "svc", "mcf")
+	if a, b := s.OverShare(lh, 4, 50), p.OverShare(ph, 4, 50); a != b {
+		t.Fatalf("overshare mismatch live %v parsed %v", a, b)
+	}
+	if a, b := s.Mean(lh, 4), p.Mean(ph, 4); a != b {
+		t.Fatalf("mean mismatch live %v parsed %v", a, b)
+	}
+	if a, b := s.QuantileOver(lh, 4, 0.99), p.QuantileOver(ph, 4, 0.99); a != b {
+		t.Fatalf("quantile mismatch live %v parsed %v", a, b)
+	}
+
+	// Canonical encoding: dump → parse → dump is byte-identical.
+	var buf2 bytes.Buffer
+	if err := p.WriteDump(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatalf("re-dump differs:\n--- first\n%s\n--- second\n%s", first, buf2.String())
+	}
+}
+
+func TestParsedSeriesIsReadOnly(t *testing.T) {
+	s := buildDumpSeries(t)
+	var buf bytes.Buffer
+	if err := s.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample on a parsed series should panic")
+		}
+	}()
+	p.Sample()
+}
+
+func TestParseSeriesRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad version":     `{"version":2,"capacity":4,"samples":0,"first":0}`,
+		"bad capacity":    `{"version":1,"capacity":0,"samples":0,"first":0}`,
+		"over retention":  `{"version":1,"capacity":2,"samples":9,"first":1}`,
+		"unwrapped first": `{"version":1,"capacity":8,"samples":3,"first":1}`,
+		"unknown kind":    `{"version":1,"capacity":4,"samples":0,"first":0,"tracks":[{"name":"x","kind":"summary"}]}`,
+		"nameless track":  `{"version":1,"capacity":4,"samples":0,"first":0,"tracks":[{"kind":"counter"}]}`,
+		"value count":     `{"version":1,"capacity":4,"samples":2,"first":0,"tracks":[{"name":"x","kind":"counter","values":[1]}]}`,
+		"kind mixing":     `{"version":1,"capacity":4,"samples":1,"first":0,"tracks":[{"name":"x","kind":"counter","values":[1],"buckets":3}]}`,
+		"row cell range":  `{"version":1,"capacity":4,"samples":1,"first":0,"tracks":[{"name":"x","kind":"histogram","min":0,"max":10,"buckets":2,"rows":[[9,1]],"sums":[0]}]}`,
+		"row order":       `{"version":1,"capacity":4,"samples":1,"first":0,"tracks":[{"name":"x","kind":"histogram","min":0,"max":10,"buckets":2,"rows":[[2,1,1,1]],"sums":[0]}]}`,
+		"zero delta":      `{"version":1,"capacity":4,"samples":1,"first":0,"tracks":[{"name":"x","kind":"histogram","min":0,"max":10,"buckets":2,"rows":[[1,0]],"sums":[0]}]}`,
+		"bad geometry":    `{"version":1,"capacity":4,"samples":0,"first":0,"tracks":[{"name":"x","kind":"histogram","min":5,"max":5,"buckets":2}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseSeries(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseSeries accepted %s", name, in)
+		}
+	}
+}
+
+func FuzzParseSeries(f *testing.F) {
+	// Seed with real writer output plus the malformed shapes above.
+	reg := NewRegistry()
+	c := reg.Counter("caer_test_events_total", "events")
+	h := reg.Histogram("caer_test_latency", "latency", 0, 100, 4)
+	s := NewSeries(reg, 3)
+	for i := 0; i < 5; i++ {
+		c.Add(uint64(i))
+		h.Observe(float64(i * 30))
+		s.Sample()
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDump(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"capacity":4,"samples":0,"first":0}`))
+	f.Add([]byte(`{"version":1,"capacity":2,"samples":9,"first":7,"tracks":[{"name":"x","kind":"gauge","values":[1,2]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseSeries(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must re-dump and re-parse to a byte-identical
+		// canonical form (round-trip stability).
+		var d1 bytes.Buffer
+		if err := p.WriteDump(&d1); err != nil {
+			t.Fatalf("dump of accepted parse failed: %v", err)
+		}
+		p2, err := ParseSeries(bytes.NewReader(d1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of own dump failed: %v\n%s", err, d1.String())
+		}
+		var d2 bytes.Buffer
+		if err := p2.WriteDump(&d2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+			t.Fatalf("round trip not stable:\n%s\nvs\n%s", d1.String(), d2.String())
+		}
+		// Queries must not panic on any accepted input.
+		for i, tr := range p.Tracks() {
+			ref := TrackRef(i)
+			switch tr.Kind {
+			case KindCounter:
+				_ = p.Rate(ref, 4)
+			case KindGauge:
+				_ = p.Mean(ref, 4)
+			case KindHistogram:
+				_ = p.OverShare(ref, 4, 50)
+				_ = p.QuantileOver(ref, 4, 0.99)
+			}
+		}
+	})
+}

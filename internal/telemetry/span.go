@@ -45,6 +45,11 @@ const (
 	// SpanFired marks the machine period a threshold trigger fired (value =
 	// how many triggers fired that period).
 	SpanFired
+	// SpanAlert is one SLO alert episode, from the first pending period to
+	// resolution (value = peak slow-window burn rate over the episode). The
+	// slo.Engine records one per firing alert; an episode still open at
+	// export time spans through the last evaluated period.
+	SpanAlert
 	numSpanKinds
 )
 
@@ -71,6 +76,8 @@ func (k SpanKind) String() string {
 		return "armed"
 	case SpanFired:
 		return "fired"
+	case SpanAlert:
+		return "alert"
 	default:
 		return fmt.Sprintf("SpanKind(%d)", int(k))
 	}

@@ -171,6 +171,10 @@ type Registry struct {
 	metrics []*metric
 	byKey   map[string]*metric
 	selfOps atomic.Uint64
+	// count mirrors len(metrics) atomically so the Series sampler can
+	// detect late registrations without taking the registry lock on its
+	// per-period path.
+	count atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -221,6 +225,7 @@ func (r *Registry) register(name, help string, kind MetricKind, kv []string, mk 
 	m.name, m.labels, m.help, m.kind = name, labels, help, kind
 	r.metrics = append(r.metrics, m)
 	r.byKey[key] = m
+	r.count.Store(int64(len(r.metrics)))
 	return m
 }
 

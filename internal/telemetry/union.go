@@ -77,6 +77,7 @@ func (r *Registry) registerRendered(name, help string, kind MetricKind, labels s
 	m.name, m.labels, m.help, m.kind = name, labels, help, kind
 	r.metrics = append(r.metrics, m)
 	r.byKey[key] = m
+	r.count.Store(int64(len(r.metrics)))
 	return m
 }
 
