@@ -33,3 +33,9 @@ fleet:
 .PHONY: slo
 slo:
 	go run ./cmd/caer-bench -slo
+
+# Partition regime gate at full scale (DESIGN.md §16; writes
+# BENCH_partition.json).
+.PHONY: partition
+partition:
+	go run ./cmd/caer-bench -partition

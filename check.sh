@@ -19,17 +19,22 @@ echo "caer-vet runtime: ${vet_elapsed}s (budget ${CAER_VET_BUDGET:-120}s)"
 # past the 600s per-binary default.
 go test -race -timeout 30m -coverprofile=coverage.out ./...
 # Coverage ratchet: total statement coverage must not fall below
-# CAER_COVERAGE_MIN (default 80, one point under the measured baseline —
+# CAER_COVERAGE_MIN (default 80.3, one point under the measured baseline —
 # raise it as coverage grows, never lower it to absorb a regression).
 total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $NF); print $NF }')
-awk -v t="$total" -v min="${CAER_COVERAGE_MIN:-80}" 'BEGIN { exit !(t+0 >= min+0) }' || {
-    echo "coverage gate: total $total% below CAER_COVERAGE_MIN=${CAER_COVERAGE_MIN:-80}%" >&2; exit 1; }
+awk -v t="$total" -v min="${CAER_COVERAGE_MIN:-80.3}" 'BEGIN { exit !(t+0 >= min+0) }' || {
+    echo "coverage gate: total $total% below CAER_COVERAGE_MIN=${CAER_COVERAGE_MIN:-80.3}%" >&2; exit 1; }
 # Fuzz smoke: run each parser fuzz target briefly so the checked-in seed
 # corpus and any new corpus entries actually execute against the invariants
 # (go's fuzzer accepts one target per invocation).
 go test -run='^$' -fuzz='^FuzzParseText$' -fuzztime=10s ./internal/telemetry
 go test -run='^$' -fuzz='^FuzzParseSeries$' -fuzztime=10s ./internal/telemetry
 go test -run='^$' -fuzz='^FuzzParseChromeTrace$' -fuzztime=10s ./internal/trace
+# Resize-path fuzz smoke: random partition op sequences (lookups, fills,
+# orphan/invalidate resizes, back-invalidations) against the model checker
+# in cache_test — fills stay inside the owner's mask, counts balance, and
+# every resident line stays hittable.
+go test -run='^$' -fuzz='^FuzzCachePartition$' -fuzztime=10s ./internal/mem
 # Chaos gate: the fault-injection regimes (DESIGN.md §8) in short mode —
 # every fault class must fail open under every heuristic.
 go run ./cmd/caer-bench -chaos -quick > /dev/null
@@ -57,6 +62,17 @@ rm -f BENCH_sched.json
 go run ./cmd/caer-bench -fleet -quick > /dev/null
 test -s BENCH_fleet.json
 rm -f BENCH_fleet.json
+# Partition gate: the cache-partitioning response regimes (DESIGN.md §16)
+# in short mode — way-partitioning must strictly beat pure throttling on
+# the latency app's QoS at equal admitted throughput with a no-later batch
+# makespan, and the BENCH_partition.json artifact must be byte-identical
+# across domain-stepper worker counts (the determinism contract).
+go run ./cmd/caer-bench -partition -quick -workers 1 > /dev/null
+test -s BENCH_partition.json
+mv BENCH_partition.json BENCH_partition.w1.json
+go run ./cmd/caer-bench -partition -quick -workers 4 > /dev/null
+cmp BENCH_partition.json BENCH_partition.w1.json
+rm -f BENCH_partition.json BENCH_partition.w1.json
 # SLO gate (DESIGN.md §15) in short mode: metrics-fed placement must match
 # or beat least-pressure on the sensitive p99 at equal throughput, a total
 # scrape outage must degrade to least-pressure byte-for-byte, and the alert

@@ -8,7 +8,8 @@
 //	caer-bench [-fig all|1|2|3|6|7|8|9|10] [-csv DIR] [-seed N]
 //	           [-benchmarks mcf,namd,...] [-quick]
 //	           [-ablation partition,response,tuning,adversary,multiapp|all]
-//	           [-chaos] [-sched] [-sampling] [-perf] [-fleet] [-slo] [-workers N]
+//	           [-chaos] [-sched] [-sampling] [-perf] [-fleet] [-slo]
+//	           [-partition] [-workers N]
 //	           [-telemetry addr] [-telemetry-out FILE]
 //
 // -quick shrinks every benchmark's instruction count 8x for a fast smoke
@@ -44,6 +45,17 @@
 // at equal admitted throughput, and writes the comparison as
 // machine-readable BENCH_fleet.json (into -csv DIR when given, else the
 // working directory). Skips figures unless -fig is set explicitly.
+//
+// -partition runs the partition regime suite (DESIGN.md §16): a
+// cache-sensitive omnetpp service sharing one LLC domain with
+// capacity-thief batch jobs, compared across the response family —
+// red-light/green-light and soft-lock throttling, LFOC-style LLC
+// way-partitioning, and the hybrid of both — at equal admitted throughput.
+// It exits non-zero unless the partition response strictly beats both
+// pure-throttling responses on latency QoS degradation with an earlier
+// batch makespan, and writes the comparison as machine-readable
+// BENCH_partition.json (into -csv DIR when given, else the working
+// directory). Skips figures unless -fig is set explicitly.
 //
 // -slo runs the SLO regime suite (DESIGN.md §15): the fleet-suite cluster
 // with every node's burn-rate SLO engine armed, compared across
@@ -94,9 +106,10 @@ func main() {
 	schedFlag := flag.Bool("sched", false, "run the scheduler regime suite and write BENCH_sched.json (skips figures unless -fig is set explicitly)")
 	samplingFlag := flag.Bool("sampling", false, "run the sampling-mode sweep and write BENCH_sampling.json (skips figures unless -fig is set explicitly)")
 	fleetFlag := flag.Bool("fleet", false, "run the fleet regime suite and write BENCH_fleet.json (skips figures unless -fig is set explicitly)")
+	partitionFlag := flag.Bool("partition", false, "run the partition regime suite and write BENCH_partition.json (skips figures unless -fig is set explicitly)")
 	sloFlag := flag.Bool("slo", false, "run the SLO regime suite and write BENCH_slo.json plus the caer-doctor bundle (skips figures unless -fig is set explicitly)")
 	perfFlag := flag.Bool("perf", false, "run the performance baseline suite and write BENCH_perf.json (skips figures unless -fig is set explicitly)")
-	workers := flag.Int("workers", 4, "domain-stepper worker pool size for -perf parallel measurements, -sched, and -fleet")
+	workers := flag.Int("workers", 4, "domain-stepper worker pool size for -perf parallel measurements, -sched, -fleet, and -partition")
 	telemetryAddr := flag.String("telemetry", "", "serve live telemetry (/metrics, /trace, /debug/pprof) on this address, e.g. :6060")
 	telemetryOut := flag.String("telemetry-out", "", "write a Prometheus-text telemetry snapshot to this file after the run")
 	flag.Parse()
@@ -131,7 +144,7 @@ func main() {
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
-	if (*chaos || *schedFlag || *perfFlag || *samplingFlag || *fleetFlag || *sloFlag) && !figSetExplicitly {
+	if (*chaos || *schedFlag || *perfFlag || *samplingFlag || *fleetFlag || *sloFlag || *partitionFlag) && !figSetExplicitly {
 		want = map[string]bool{}
 	}
 	all := want["all"]
@@ -334,6 +347,30 @@ func main() {
 		}
 		fmt.Fprintf(out, "fleet gate holds: least-pressure beats round-robin on sensitive-service p99 at equal admitted throughput\n")
 		path := "BENCH_fleet.json"
+		if *csvDir != "" {
+			path = filepath.Join(*csvDir, path)
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", path, err)
+		}
+		if err := regime.WriteJSON(fh); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fh.Close()
+		fmt.Fprintf(out, "[wrote %s]\n", path)
+	}
+	if *partitionFlag {
+		fmt.Fprintf(out, "\n")
+		regime := experiments.PartitionSuiteWorkers(*seed, *quick, *workers)
+		if err := regime.Render(out); err != nil {
+			fatalf("render partition regimes: %v", err)
+		}
+		if err := regime.Check(); err != nil {
+			fatalf("partition gate violation: %v", err)
+		}
+		fmt.Fprintf(out, "partition gate holds: way-partitioning beats pure throttling on latency QoS with an earlier batch makespan at equal admitted throughput\n")
+		path := "BENCH_partition.json"
 		if *csvDir != "" {
 			path = filepath.Join(*csvDir, path)
 		}

@@ -132,6 +132,13 @@ func DefaultConfig() *Config {
 			"mem.Cache.Invalidate", "mem.Cache.Contains",
 			"mem.Hierarchy.Access", "mem.MainMemory.Access",
 			"mem.lruPolicy.Touch", "mem.lruPolicy.Victim",
+			// Partition-aware victim path (DESIGN.md §16): the per-owner
+			// mask lookup runs on every Insert, confined victim scans on
+			// every confined miss, and the mask helpers they call.
+			"mem.Cache.maskOf", "mem.lruPolicy.VictimMask",
+			"mem.plruPolicy.VictimMask", "mem.plruPolicy.victimFull",
+			"mem.randomPolicy.VictimMask",
+			"mem.WayMask.Has", "mem.WayMask.Count", "mem.WayMask.NthWay",
 			// Contention classifier: per-period profile updates and the
 			// score reads the placement scorer calls per queue decision.
 			"sched.Classifier.Observe", "sched.Classifier.ObserveVerdict",
@@ -142,6 +149,15 @@ func DefaultConfig() *Config {
 			"sched.Scheduler.Step", "sched.Scheduler.observePeriod",
 			"sched.Scheduler.tickEngines", "sched.Scheduler.applyDirectives",
 			"sched.Scheduler.fillViews", "sched.Scheduler.ageQueue",
+			// Partition response per-period loop (DESIGN.md §16): the
+			// verdict-pressure fold, allocation-free cluster re-score, and
+			// want/applied mask reconciliation. The actual resize
+			// (resizePartition) is the documented cold barrier.
+			"sched.Scheduler.applyPartitions", "sched.Clusterer.Rescore",
+			"sched.PlanClusters", "sched.Classify", "sched.ClusterPlan.MaskFor",
+			// Per-core partition actuator for plain CAER deployments: the
+			// steady state is one compare per directive re-application.
+			"caer.PartitionActuator.Actuate",
 			// Telemetry spine: the pre-registered handles every hot function
 			// above calls into, plus the span recorder. They must stay pure
 			// atomics — the observability layer cannot be allowed to perturb
@@ -210,6 +226,7 @@ func DefaultConfig() *Config {
 			"pmu.Event", "runner.Mode", "spec.Sensitivity",
 			"experiments.FaultKind",
 			"sched.Policy", "sched.JobState", "sched.DecisionKind",
+			"sched.ResponseKind", "sched.ClusterKind", "mem.ResizeMode",
 			"fleet.Policy", "fleet.JobState", "fleet.Curve",
 			"fleet.DecisionKind",
 			"slo.ObjectiveKind", "slo.AlertState",
@@ -249,6 +266,14 @@ func DefaultConfig() *Config {
 			// Series ring growth: amortized doubling when a registry gains
 			// tracks, never on the steady-state sample path.
 			"telemetry.Series.extend",
+			// Partition resizes are control-plane operations (DESIGN.md
+			// §16): mask installation walks the whole cache in invalidate
+			// mode and may allocate the dropped-line slice; the per-period
+			// loop only reaches them when a cluster plan actually changes.
+			"mem.Cache.SetOwnerMask", "mem.Cache.StrandedLines",
+			"mem.Hierarchy.SetL3OwnerMask",
+			"sched.Scheduler.resizePartition",
+			"caer.PartitionActuator.resize",
 		},
 		DeterministicPkgs: []string{"machine", "mem", "sched", "caer", "fleet"},
 		DeterministicFuncs: []string{
@@ -261,6 +286,7 @@ func DefaultConfig() *Config {
 			"experiments.SamplingReport.Table", "experiments.SamplingReport.WriteJSON",
 			"experiments.FleetRegime.Table", "experiments.FleetRegime.WriteJSON",
 			"experiments.SLORegime.Table", "experiments.SLORegime.WriteJSON",
+			"experiments.PartitionRegime.Table", "experiments.PartitionRegime.WriteJSON",
 			"experiments.marshalComparable",
 		},
 		MetricNames: []string{
@@ -280,6 +306,10 @@ func DefaultConfig() *Config {
 			"caer_sched_vetoes_total", "caer_sched_migrations_total",
 			"caer_sched_completions_total", "caer_sched_class_flips_total",
 			"caer_sched_queue_depth", "caer_sched_running",
+			"caer_part_plans_total", "caer_part_resizes_total",
+			"caer_part_lines_invalidated_total", "caer_part_orphans_total",
+			"caer_part_protected_ways", "caer_part_confined_ways",
+			"caer_part_pressure",
 			"caer_runner_runs_total", "caer_runner_relaunches_total",
 			"caer_runner_periods_total",
 			"caer_telemetry_ops_total", "caer_telemetry_spans_total",

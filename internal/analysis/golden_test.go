@@ -120,6 +120,7 @@ func TestGoldenMem(t *testing.T)       { runGolden(t, "mem") }
 func TestGoldenLifecycle(t *testing.T) { runGolden(t, "lifecycle") }
 func TestGoldenTeldisc(t *testing.T)   { runGolden(t, "teldisc") }
 func TestGoldenFleet(t *testing.T)     { runGolden(t, "fleet") }
+func TestGoldenPart(t *testing.T)      { runGolden(t, "part") }
 
 // TestGoldenSeedsEveryAnalyzer guards the fixtures themselves: each
 // analyzer of the suite must have at least one seeded violation across the
@@ -128,7 +129,7 @@ func TestGoldenSeedsEveryAnalyzer(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ModulePath = "test"
 	hit := make(map[string]int)
-	for _, rel := range []string{"comm", "caer", "pmu", "telemetry", "mem", "lifecycle", "teldisc", "hygiene", "fleet"} {
+	for _, rel := range []string{"comm", "caer", "pmu", "telemetry", "mem", "lifecycle", "teldisc", "hygiene", "fleet", "part"} {
 		for _, f := range RunAnalyzers(loadTestPkg(t, rel), Analyzers(), cfg) {
 			hit[f.Analyzer]++
 		}

@@ -1,0 +1,94 @@
+package caer
+
+import (
+	"testing"
+
+	"caer/internal/comm"
+	"caer/internal/machine"
+	"caer/internal/mem"
+	"caer/internal/spec"
+)
+
+func TestPartitionActuatorTransitions(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 2})
+	ways := m.Hierarchy().L3().Ways()
+	confined := mem.ContiguousMask(0, 4)
+	pa := NewPartitionActuator(m, confined, mem.ResizeOrphan)
+	core := m.Core(1)
+	l3 := m.Hierarchy().L3()
+
+	pa.Actuate(core, comm.DirectivePause)
+	if got := l3.OwnerMask(m.LocalCore(1)); got != confined {
+		t.Fatalf("after pause directive: owner mask %v, want %v", got, confined)
+	}
+	if core.Paused() {
+		t.Fatal("partition actuator paused the core")
+	}
+	pa.Actuate(core, comm.DirectiveRun)
+	if got := l3.OwnerMask(m.LocalCore(1)); got != mem.FullMask(ways) {
+		t.Fatalf("after run directive: owner mask %v, want full", got)
+	}
+}
+
+// TestPartitionActuatorSteadyStateAllocFree pins the actuator's per-period
+// contract: re-applying an unchanged directive is a single compare, with no
+// resize and no allocation.
+func TestPartitionActuatorSteadyStateAllocFree(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 2})
+	pa := NewPartitionActuator(m, mem.ContiguousMask(0, 4), mem.ResizeOrphan)
+	core := m.Core(1)
+	pa.Actuate(core, comm.DirectivePause)
+	if n := testing.AllocsPerRun(200, func() {
+		pa.Actuate(core, comm.DirectivePause)
+	}); n != 0 {
+		t.Fatalf("steady-state Actuate allocates %v/op, want 0", n)
+	}
+}
+
+func TestPartitionActuatorValidation(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 1})
+	ways := m.Hierarchy().L3().Ways()
+	for _, mask := range []mem.WayMask{0, mem.FullMask(ways), mem.FullMask(ways) << 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("confined mask %v did not panic", mask)
+				}
+			}()
+			NewPartitionActuator(m, mask, mem.ResizeOrphan)
+		}()
+	}
+}
+
+// TestRuntimePartitionActuator runs the full engine loop with the partition
+// actuator standing in for pausing: under contention the batch core must
+// get confined (and never paused), keep retiring instructions while
+// confined, and be restored once the engine's directive clears.
+func TestRuntimePartitionActuator(t *testing.T) {
+	m := machine.New(machine.Config{Cores: 2})
+	confined := mem.ContiguousMask(0, 2)
+	pa := NewPartitionActuator(m, confined, mem.ResizeInvalidate)
+	rt := NewRuntime(m, HeuristicRule, DefaultConfig(), WithActuator(pa.Actuate))
+	mcf, _ := spec.ByName("mcf")
+	rt.AddLatency("mcf", 0, mcf.Batch().NewProcess(0, 11))
+	batchProc := spec.LBM().Batch().NewProcess(1<<28, 12)
+	rt.AddBatch("lbm", 1, batchProc)
+	l3 := m.Hierarchy().L3()
+	lc := m.LocalCore(1)
+	sawConfined := false
+	for i := 0; i < 300; i++ {
+		rt.Step()
+		if l3.OwnerMask(lc) == confined {
+			sawConfined = true
+		}
+		if m.Core(1).Paused() {
+			t.Fatal("partition actuator paused the core")
+		}
+	}
+	if !sawConfined {
+		t.Error("engine directives never confined the contending batch core")
+	}
+	if batchProc.Retired() == 0 {
+		t.Error("confined batch made no progress")
+	}
+}

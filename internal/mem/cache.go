@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // line is one cache line's bookkeeping. Addresses are line-granular: the
 // simulator's unit address already names a 64-byte line, so tag == address.
@@ -40,13 +43,13 @@ type Cache struct {
 	sets     int
 	ways     int
 	setMask  uint64
+	fullMask WayMask
 	lines    []line  // sets*ways, row-major by set
 	valid    []int32 // per-set valid-line count; lets Insert skip the free-way scan on full sets
 	policy   Policy
 	stats    CacheStats
-	partLo   []int // per-owner victim range; nil when unpartitioned
-	partHi   []int
-	partUsed bool
+	masks    []WayMask // per-owner fill mask; nil when unpartitioned
+	maskUsed bool
 }
 
 // Config describes a cache's geometry.
@@ -63,21 +66,22 @@ func NewCache(cfg Config) *Cache {
 	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
 		panic(fmt.Sprintf("mem: cache %q sets must be a positive power of two, got %d", cfg.Name, cfg.Sets))
 	}
-	if cfg.Ways <= 0 {
-		panic(fmt.Sprintf("mem: cache %q ways must be positive, got %d", cfg.Name, cfg.Ways))
+	if cfg.Ways <= 0 || cfg.Ways > 64 {
+		panic(fmt.Sprintf("mem: cache %q ways must be in 1..64, got %d", cfg.Name, cfg.Ways))
 	}
 	p := cfg.Policy
 	if p == nil {
 		p = NewLRU(cfg.Sets, cfg.Ways)
 	}
 	return &Cache{
-		name:    cfg.Name,
-		sets:    cfg.Sets,
-		ways:    cfg.Ways,
-		setMask: uint64(cfg.Sets - 1),
-		lines:   make([]line, cfg.Sets*cfg.Ways),
-		valid:   make([]int32, cfg.Sets),
-		policy:  p,
+		name:     cfg.Name,
+		sets:     cfg.Sets,
+		ways:     cfg.Ways,
+		setMask:  uint64(cfg.Sets - 1),
+		fullMask: FullMask(cfg.Ways),
+		lines:    make([]line, cfg.Sets*cfg.Ways),
+		valid:    make([]int32, cfg.Sets),
+		policy:   p,
 	}
 }
 
@@ -171,25 +175,33 @@ type Evicted struct {
 // counters; callers pair it with a missed Lookup.
 func (c *Cache) Insert(addr uint64, owner int, write bool) Evicted {
 	set := c.setOf(addr)
-	lo, hi := c.victimRange(owner)
-	// Prefer an invalid way within the owner's victim range. The per-set
-	// valid count skips the scan entirely once the set is full — the steady
-	// state for every warm cache (with partitioning the count covers the
-	// whole set, so a full count still implies a full victim range).
+	mask := c.maskOf(owner)
+	// Prefer an invalid way within the owner's mask. The per-set valid
+	// count skips the scan entirely once the set is full — the steady state
+	// for every warm cache (with partitioning the count covers the whole
+	// set, so a full count still implies a full mask).
 	if int(c.valid[set]) < c.ways {
 		base := set * c.ways
-		row := c.lines[base+lo : base+hi]
-		for i := range row {
-			ln := &row[i]
+		for mm := mask; mm != 0; mm &= mm - 1 {
+			w := bits.TrailingZeros64(uint64(mm))
+			ln := &c.lines[base+w]
 			if !ln.valid {
 				*ln = line{tag: addr, owner: int8(owner), valid: true, dirty: write}
 				c.valid[set]++
-				c.policy.Touch(set, lo+i)
+				c.policy.Touch(set, w)
 				return Evicted{}
 			}
 		}
 	}
-	w := c.policy.Victim(set, lo, hi)
+	var w int
+	if mask == c.fullMask {
+		// Unconfined owners keep the contiguous scan — the hottest loop in
+		// the simulator — and full-mask partitions share it, which makes
+		// the full-mask differential pin hold by construction.
+		w = c.policy.Victim(set, 0, c.ways)
+	} else {
+		w = c.policy.VictimMask(set, mask)
+	}
 	ln := c.lineAt(set, w)
 	ev := Evicted{Addr: ln.tag, Owner: int(ln.owner), Dirty: ln.dirty, Valid: true}
 	c.stats.Evictions++
@@ -261,9 +273,86 @@ func (c *Cache) OwnerOccupancy(maxOwner int) []int {
 	return occ
 }
 
-// SetWayPartition restricts owner's evictions to ways [loWay, hiWay). Other
+// SetOwnerMask restricts owner's fills and victim selection to the ways in
+// mask (lookups still hit anywhere). Other owners keep the full mask unless
+// also confined. mode picks the fate of owner's lines already resident
+// outside the new mask: ResizeOrphan leaves them valid, ResizeInvalidate
+// drops them and returns them so an inclusive hierarchy can propagate
+// back-invalidations. A zero mask or one with bits beyond the cache's ways
+// panics. Resizes are control-plane operations — the per-access path never
+// calls this.
+func (c *Cache) SetOwnerMask(owner int, mask WayMask, mode ResizeMode) []Evicted {
+	if owner < 0 || owner > 127 {
+		panic(fmt.Sprintf("mem: partition owner %d out of range", owner))
+	}
+	if mask == 0 || mask&^c.fullMask != 0 {
+		panic(fmt.Sprintf("mem: owner mask %v invalid for %d ways", mask, c.ways))
+	}
+	if owner >= len(c.masks) {
+		grown := make([]WayMask, owner+1)
+		for i := range grown {
+			grown[i] = c.fullMask
+		}
+		copy(grown, c.masks)
+		c.masks = grown
+	}
+	c.masks[owner] = mask
+	c.maskUsed = true
+	switch mode {
+	case ResizeOrphan:
+		return nil
+	case ResizeInvalidate:
+		var dropped []Evicted
+		for set := 0; set < c.sets; set++ {
+			base := set * c.ways
+			for w := 0; w < c.ways; w++ {
+				if mask.Has(w) {
+					continue
+				}
+				ln := &c.lines[base+w]
+				if ln.valid && int(ln.owner) == owner {
+					dropped = append(dropped, Evicted{Addr: ln.tag, Owner: owner, Dirty: ln.dirty, Valid: true})
+					c.stats.Invalidations++
+					*ln = line{}
+					c.valid[set]--
+				}
+			}
+		}
+		return dropped
+	default:
+		panic(fmt.Sprintf("mem: unknown resize mode %v", mode))
+	}
+}
+
+// OwnerMask returns owner's current fill mask (the full mask when
+// unconfined).
+func (c *Cache) OwnerMask(owner int) WayMask { return c.maskOf(owner) }
+
+// StrandedLines counts owner's valid lines resident outside its current
+// mask — orphans left behind by ResizeOrphan resizes, still hittable but
+// no longer refillable by their owner.
+func (c *Cache) StrandedLines(owner int) int {
+	mask := c.maskOf(owner)
+	n := 0
+	for set := 0; set < c.sets; set++ {
+		base := set * c.ways
+		for w := 0; w < c.ways; w++ {
+			if mask.Has(w) {
+				continue
+			}
+			ln := &c.lines[base+w]
+			if ln.valid && int(ln.owner) == owner {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetWayPartition restricts owner's fills to ways [loWay, hiWay). Other
 // owners keep the full range unless also partitioned. Passing an invalid
-// range panics. This implements the static way-partitioning ablation
+// range panics. This is the contiguous special case of SetOwnerMask (with
+// orphan resize semantics), kept for the static way-partitioning ablation
 // (hardware cache QoS, cf. the paper's related work).
 func (c *Cache) SetWayPartition(owner, loWay, hiWay int) {
 	if owner < 0 || owner > 127 {
@@ -272,31 +361,18 @@ func (c *Cache) SetWayPartition(owner, loWay, hiWay int) {
 	if loWay < 0 || hiWay > c.ways || loWay >= hiWay {
 		panic(fmt.Sprintf("mem: partition range [%d,%d) invalid for %d ways", loWay, hiWay, c.ways))
 	}
-	if c.partLo == nil || owner >= len(c.partLo) {
-		nlo := make([]int, owner+1)
-		nhi := make([]int, owner+1)
-		for i := range nhi {
-			nhi[i] = c.ways
-		}
-		copy(nlo, c.partLo)
-		if c.partHi != nil {
-			copy(nhi, c.partHi)
-		}
-		c.partLo, c.partHi = nlo, nhi
-	}
-	c.partLo[owner], c.partHi[owner] = loWay, hiWay
-	c.partUsed = true
+	c.SetOwnerMask(owner, ContiguousMask(loWay, hiWay), ResizeOrphan)
 }
 
 // ClearWayPartitions removes all partitioning.
 func (c *Cache) ClearWayPartitions() {
-	c.partLo, c.partHi = nil, nil
-	c.partUsed = false
+	c.masks = nil
+	c.maskUsed = false
 }
 
-func (c *Cache) victimRange(owner int) (lo, hi int) {
-	if !c.partUsed || owner < 0 || owner >= len(c.partLo) {
-		return 0, c.ways
+func (c *Cache) maskOf(owner int) WayMask {
+	if !c.maskUsed || owner < 0 || owner >= len(c.masks) {
+		return c.fullMask
 	}
-	return c.partLo[owner], c.partHi[owner]
+	return c.masks[owner]
 }

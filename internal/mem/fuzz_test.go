@@ -1,0 +1,120 @@
+package mem
+
+import (
+	"testing"
+)
+
+// FuzzCachePartition drives random interleavings of partition resizes,
+// fills, lookups, and invalidations against a model checker. The invariants
+// it holds the cache to:
+//
+//  1. A fill never lands outside the inserting owner's current mask.
+//  2. An invalidate-mode resize leaves no owner line outside the new mask;
+//     an orphan-mode resize drops nothing.
+//  3. The per-set valid counters always equal the number of valid lines
+//     (the free-way fast path depends on this).
+//  4. Hits + misses == accesses, and every resident line remains hittable.
+//
+// check.sh runs this for a 10s smoke on top of the seeded corpus below.
+func FuzzCachePartition(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0x10, 0x01, 0x55})
+	f.Add([]byte{0x02, 0xff, 0x03, 0x0f, 0x04, 0xf0, 0x01, 0x01})
+	f.Add([]byte{0x83, 0x01, 0x01, 0x20, 0x02, 0x21, 0x83, 0xfe, 0x01, 0x22})
+	f.Add([]byte{0x04, 0x00, 0x84, 0x7f, 0x00, 0x10})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const sets, ways, owners = 4, 8, 4
+		c := newTestCache(sets, ways)
+		masks := [owners]WayMask{} // model of each owner's mask; 0 = full
+		maskOf := func(o int) WayMask {
+			if masks[o] == 0 {
+				return FullMask(ways)
+			}
+			return masks[o]
+		}
+		wayOf := func(addr uint64) int {
+			set := c.setOf(addr)
+			base := set * ways
+			for w := 0; w < ways; w++ {
+				if ln := c.lines[base+w]; ln.valid && ln.tag == addr {
+					return w
+				}
+			}
+			return -1
+		}
+		checkCounts := func() {
+			for set := 0; set < sets; set++ {
+				n := int32(0)
+				for w := 0; w < ways; w++ {
+					if c.lines[set*ways+w].valid {
+						n++
+					}
+				}
+				if c.valid[set] != n {
+					t.Fatalf("set %d: valid counter %d, actual %d", set, c.valid[set], n)
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			owner := int(op>>4) % owners
+			switch op % 5 {
+			case 0: // lookup
+				c.Lookup(uint64(arg), op&0x80 != 0)
+			case 1: // miss-then-fill
+				addr := uint64(arg)
+				if !c.Lookup(addr, false) {
+					c.Insert(addr, owner, op&0x80 != 0)
+					w := wayOf(addr)
+					if w < 0 {
+						t.Fatalf("inserted %#x not resident", addr)
+					}
+					if !maskOf(owner).Has(w) {
+						t.Fatalf("owner %d (mask %v) filled way %d", owner, maskOf(owner), w)
+					}
+				}
+			case 2: // orphan resize
+				mask := WayMask(arg) & FullMask(ways)
+				if mask == 0 {
+					mask = 1
+				}
+				if dropped := c.SetOwnerMask(owner, mask, ResizeOrphan); dropped != nil {
+					t.Fatalf("orphan resize dropped %d lines", len(dropped))
+				}
+				masks[owner] = mask
+			case 3: // invalidate resize
+				mask := WayMask(arg) & FullMask(ways)
+				if mask == 0 {
+					mask = 1
+				}
+				dropped := c.SetOwnerMask(owner, mask, ResizeInvalidate)
+				masks[owner] = mask
+				for _, ev := range dropped {
+					if ev.Owner != owner || !ev.Valid {
+						t.Fatalf("invalidate resize dropped foreign line %+v", ev)
+					}
+					if c.Contains(ev.Addr) {
+						t.Fatalf("dropped line %#x still resident", ev.Addr)
+					}
+				}
+				if n := c.StrandedLines(owner); n != 0 {
+					t.Fatalf("owner %d: %d stranded lines after invalidate resize", owner, n)
+				}
+			case 4: // back-invalidate one address
+				c.Invalidate(uint64(arg))
+			}
+			checkCounts()
+		}
+		s := c.Stats()
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatalf("stats skew: %d hits + %d misses != %d accesses", s.Hits, s.Misses, s.Accesses)
+		}
+		// Every resident line is still hittable, masks notwithstanding.
+		for idx, ln := range c.lines {
+			if ln.valid && !c.Contains(ln.tag) {
+				t.Fatalf("line %d (tag %#x) resident but not hittable", idx, ln.tag)
+			}
+		}
+	})
+}

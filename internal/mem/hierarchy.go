@@ -206,6 +206,18 @@ func (h *Hierarchy) backInvalidate(addr uint64) {
 	}
 }
 
+// SetL3OwnerMask resizes owner's L3 partition to mask. Under
+// ResizeInvalidate the dropped lines are back-invalidated from every
+// private cache to preserve inclusion; the return value is the number of
+// L3 lines dropped (always 0 for ResizeOrphan).
+func (h *Hierarchy) SetL3OwnerMask(owner int, mask WayMask, mode ResizeMode) int {
+	dropped := h.l3.SetOwnerMask(owner, mask, mode)
+	for i := range dropped {
+		h.backInvalidate(dropped[i].Addr)
+	}
+	return len(dropped)
+}
+
 // LLCMisses returns core's cumulative LLC (L3) miss count. This is the
 // counter a PMU LLC_MISSES event reads.
 func (h *Hierarchy) LLCMisses(core int) uint64 { return h.llcMisses[core] }

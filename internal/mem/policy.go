@@ -12,6 +12,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -21,9 +22,15 @@ type Policy interface {
 	// Touch records a hit or fill of the given way in the given set.
 	Touch(set, way int)
 	// Victim returns the way to evict from the set. The candidate ways are
-	// the half-open range [loWay, hiWay) to support way-partitioning; for an
-	// unpartitioned cache the range covers every way.
+	// the half-open range [loWay, hiWay) to support contiguous
+	// way-partitioning; for an unpartitioned cache the range covers every
+	// way.
 	Victim(set, loWay, hiWay int) int
+	// VictimMask returns the way to evict among the ways in mask, which is
+	// never empty. For a full mask every policy must choose exactly the
+	// way Victim(set, 0, ways) would — the equivalence the full-mask
+	// differential pin relies on.
+	VictimMask(set int, mask WayMask) int
 	// Name identifies the policy in stats output.
 	Name() string
 }
@@ -57,6 +64,23 @@ func (p *lruPolicy) Victim(set, loWay, hiWay int) int {
 	best := row[loWay]
 	for w := loWay + 1; w < hiWay; w++ {
 		if row[w] < best {
+			best = row[w]
+			victim = w
+		}
+	}
+	return victim
+}
+
+func (p *lruPolicy) VictimMask(set int, mask WayMask) int {
+	// Ascending-way scan with a strictly-less comparison: for a full mask
+	// this visits the same ways in the same order as Victim(set, 0, ways)
+	// and therefore breaks timestamp ties identically (lowest way wins).
+	row := p.stamp[set*p.ways : set*p.ways+p.ways]
+	victim := -1
+	var best uint64
+	for mm := mask; mm != 0; mm &= mm - 1 {
+		w := bits.TrailingZeros64(uint64(mm))
+		if victim < 0 || row[w] < best {
 			best = row[w]
 			victim = w
 		}
@@ -118,6 +142,17 @@ func (p *plruPolicy) Victim(set, loWay, hiWay int) int {
 	return p.victimFull(set)
 }
 
+func (p *plruPolicy) VictimMask(set int, mask WayMask) int {
+	// Follow the tree; when the leaf lands outside the mask, remap it onto
+	// the mask's k-th way. A full mask always takes the first branch, so
+	// the choice matches Victim(set, 0, ways) exactly.
+	v := p.victimFull(set)
+	if mask.Has(v) {
+		return v
+	}
+	return mask.NthWay(v % mask.Count())
+}
+
 func (p *plruPolicy) victimFull(set int) int {
 	node := 0
 	lo, hi := 0, p.ways
@@ -152,4 +187,10 @@ func (p *randomPolicy) Touch(set, way int) {}
 
 func (p *randomPolicy) Victim(set, loWay, hiWay int) int {
 	return loWay + p.rng.Intn(hiWay-loWay)
+}
+
+func (p *randomPolicy) VictimMask(set int, mask WayMask) int {
+	// One rng draw per victim, exactly like Victim: for a full mask the
+	// k-th set bit is way k, so the sequence of choices is identical.
+	return mask.NthWay(p.rng.Intn(mask.Count()))
 }

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	if got := FullMask(1); got != 0x1 {
+		t.Errorf("FullMask(1) = %v", got)
+	}
+	if got := FullMask(16); got != 0xffff {
+		t.Errorf("FullMask(16) = %v", got)
+	}
+	if got := FullMask(64); got != ^WayMask(0) {
+		t.Errorf("FullMask(64) = %v", got)
+	}
+	for _, ways := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FullMask(%d) did not panic", ways)
+				}
+			}()
+			FullMask(ways)
+		}()
+	}
+}
+
+func TestContiguousMask(t *testing.T) {
+	if got := ContiguousMask(0, 4); got != 0xf {
+		t.Errorf("ContiguousMask(0,4) = %v", got)
+	}
+	if got := ContiguousMask(12, 16); got != 0xf000 {
+		t.Errorf("ContiguousMask(12,16) = %v", got)
+	}
+	if got := ContiguousMask(0, 64); got != ^WayMask(0) {
+		t.Errorf("ContiguousMask(0,64) = %v", got)
+	}
+	for _, r := range [][2]int{{-1, 4}, {0, 65}, {4, 4}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ContiguousMask(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			ContiguousMask(r[0], r[1])
+		}()
+	}
+}
+
+func TestWayMaskHasCountNthWay(t *testing.T) {
+	m := WayMask(0b1010_0110)
+	wantWays := []int{1, 2, 5, 7}
+	if m.Count() != len(wantWays) {
+		t.Fatalf("Count() = %d, want %d", m.Count(), len(wantWays))
+	}
+	for n, w := range wantWays {
+		if !m.Has(w) {
+			t.Errorf("Has(%d) = false", w)
+		}
+		if got := m.NthWay(n); got != w {
+			t.Errorf("NthWay(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if m.Has(0) || m.Has(3) {
+		t.Error("Has reported a clear bit as set")
+	}
+	if got := m.NthWay(len(wantWays)); got != -1 {
+		t.Errorf("NthWay past the end = %d, want -1", got)
+	}
+	if got := WayMask(0).NthWay(0); got != -1 {
+		t.Errorf("empty mask NthWay(0) = %d, want -1", got)
+	}
+}
+
+// TestWayMaskNthWayProperty pins NthWay against the bit-twiddling-free
+// definition for arbitrary masks: the n-th set bit ascending, -1 beyond.
+func TestWayMaskNthWayProperty(t *testing.T) {
+	prop := func(m WayMask, n uint8) bool {
+		idx := int(n) % 65
+		want, seen := -1, 0
+		for w := 0; w < 64; w++ {
+			if m.Has(w) {
+				if seen == idx {
+					want = w
+					break
+				}
+				seen++
+			}
+		}
+		return m.NthWay(idx) == want && m.Count() == bits.OnesCount64(uint64(m))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWayMaskString(t *testing.T) {
+	if got := WayMask(0xf0).String(); got != "0xf0" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestResizeModeString(t *testing.T) {
+	if ResizeOrphan.String() != "orphan" || ResizeInvalidate.String() != "invalidate" {
+		t.Errorf("mode names: %q, %q", ResizeOrphan.String(), ResizeInvalidate.String())
+	}
+	if got := ResizeMode(9).String(); got != "ResizeMode(9)" {
+		t.Errorf("unknown mode = %q", got)
+	}
+}

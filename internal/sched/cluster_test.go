@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"caer/internal/mem"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		c    AppClass
+		want ClusterKind
+	}{
+		{AppClass{Latency: true}, ClusterProtected},
+		{AppClass{Latency: true, Aggressor: true}, ClusterProtected},
+		{AppClass{Sensitive: true}, ClusterProtected},
+		{AppClass{Sensitive: true, Aggressor: true}, ClusterConfined},
+		{AppClass{Aggressor: true}, ClusterConfined},
+		{AppClass{}, ClusterDefault},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.c); got != tc.want {
+			t.Errorf("Classify(%+v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestClusterKindString(t *testing.T) {
+	if ClusterDefault.String() != "default" || ClusterProtected.String() != "protected" ||
+		ClusterConfined.String() != "confined" {
+		t.Error("cluster kind names wrong")
+	}
+	if got := ClusterKind(9).String(); got != "ClusterKind(9)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestResponseKindString(t *testing.T) {
+	if ResponseThrottle.String() != "throttle" || ResponsePartition.String() != "partition" ||
+		ResponseHybrid.String() != "hybrid" {
+		t.Error("response kind names wrong")
+	}
+	if got := ResponseKind(9).String(); got != "ResponseKind(9)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+// randomClasses decodes a byte string into an app-class list (two bits per
+// app), giving testing/quick a generator-friendly input shape.
+func randomClasses(raw []byte) []AppClass {
+	classes := make([]AppClass, 0, len(raw))
+	for _, b := range raw {
+		classes = append(classes, AppClass{
+			Latency:   b&1 != 0,
+			Aggressor: b&2 != 0,
+			Sensitive: b&4 != 0,
+		})
+	}
+	return classes
+}
+
+// TestPlanClustersTilingProperty pins the planner's core invariant for
+// arbitrary class mixes, pressures, and configurations: the three cluster
+// masks are pairwise disjoint and their union is exactly the full mask — no
+// way is ever shared between clusters or orphaned by the plan.
+func TestPlanClustersTilingProperty(t *testing.T) {
+	prop := func(raw []byte, waysRaw, pressRaw uint8, pwpa, conf uint8) bool {
+		ways := 4 + int(waysRaw)%13 // 4..16
+		cfg := ClusterConfig{
+			ProtectedWaysPerApp: int(pwpa) % 10,
+			ConfinedWays:        int(conf) % (ways / 2),
+		}
+		pressure := int(pressRaw) % 8
+		plan := PlanClusters(randomClasses(raw), ways, pressure, cfg)
+		full := mem.FullMask(ways)
+		if plan.Protected&plan.Default != 0 || plan.Protected&plan.Confined != 0 ||
+			plan.Default&plan.Confined != 0 {
+			t.Logf("overlap: %+v", plan)
+			return false
+		}
+		if plan.Protected|plan.Default|plan.Confined != full {
+			t.Logf("orphaned ways: %+v vs full %v", plan, full)
+			return false
+		}
+		// Default never collapses: protected owners rely on the shared
+		// middle, and unclassified arrivals need somewhere to fill.
+		if plan.Default == 0 {
+			t.Logf("empty default: %+v", plan)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanClustersTilingUnderResizeSequences replays random walks of
+// (classes, pressure) resize steps through one Clusterer and holds every
+// intermediate plan to the tiling invariant — the planner is stateless per
+// plan, but the walk pins that no reachable sequence of Rescore calls can
+// produce a non-tiling layout either.
+func TestPlanClustersTilingUnderResizeSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		ways := []int{4, 8, 16}[rng.Intn(3)]
+		cl := NewClusterer(ways, ClusterConfig{
+			ProtectedWaysPerApp: rng.Intn(9),
+			ConfinedWays:        rng.Intn(ways / 2),
+		})
+		classes := make([]AppClass, rng.Intn(6))
+		for step := 0; step < 50; step++ {
+			for i := range classes {
+				classes[i] = AppClass{
+					Latency:   rng.Intn(4) == 0,
+					Aggressor: rng.Intn(2) == 0,
+					Sensitive: rng.Intn(2) == 0,
+				}
+			}
+			cl.Rescore(classes, rng.Intn(8))
+			plan := cl.Plan()
+			full := mem.FullMask(ways)
+			if plan.Protected|plan.Default|plan.Confined != full ||
+				plan.Protected&plan.Default != 0 || plan.Protected&plan.Confined != 0 ||
+				plan.Default&plan.Confined != 0 {
+				t.Fatalf("trial %d step %d: non-tiling plan %+v", trial, step, plan)
+			}
+			for _, k := range []ClusterKind{ClusterDefault, ClusterProtected, ClusterConfined} {
+				if m := plan.MaskFor(k); m&^full != 0 {
+					t.Fatalf("MaskFor(%v) = %v exceeds full mask", k, m)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanClustersPermutationInvariant pins that cluster assignment and
+// sizing are a pure function of the class multiset: permuting the co-runner
+// list cannot change the layout.
+func TestPlanClustersPermutationInvariant(t *testing.T) {
+	prop := func(raw []byte, seed int64) bool {
+		classes := randomClasses(raw)
+		cfg := ClusterConfig{}
+		want := PlanClusters(classes, 16, 2, cfg)
+		rng := rand.New(rand.NewSource(seed))
+		shuffled := append([]AppClass(nil), classes...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return PlanClusters(shuffled, 16, 2, cfg) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanClustersPressureShrinksConfined(t *testing.T) {
+	classes := []AppClass{{Latency: true}, {Aggressor: true}, {}}
+	cfg := ClusterConfig{ProtectedWaysPerApp: 8, ConfinedWays: 4}
+	prev := PlanClusters(classes, 16, 0, cfg)
+	if prev.Confined.Count() != 4 {
+		t.Fatalf("pressure 0: confined %d ways, want 4", prev.Confined.Count())
+	}
+	for p := 1; p <= 5; p++ {
+		plan := PlanClusters(classes, 16, p, cfg)
+		if plan.Confined.Count() > prev.Confined.Count() {
+			t.Fatalf("pressure %d grew confined: %d -> %d ways", p, prev.Confined.Count(), plan.Confined.Count())
+		}
+		prev = plan
+	}
+	if prev.Confined.Count() != 1 {
+		t.Fatalf("max pressure: confined %d ways, want floor 1", prev.Confined.Count())
+	}
+}
+
+func TestPlanClustersEmptyClustersFoldIntoDefault(t *testing.T) {
+	plan := PlanClusters(nil, 16, 0, ClusterConfig{})
+	if plan.Protected != 0 || plan.Confined != 0 {
+		t.Fatalf("no members but reserved masks: %+v", plan)
+	}
+	if plan.Default != mem.FullMask(16) {
+		t.Fatalf("default %v, want full", plan.Default)
+	}
+}
+
+func TestMaskForProtectedIncludesDefault(t *testing.T) {
+	classes := []AppClass{{Latency: true}, {Aggressor: true}}
+	plan := PlanClusters(classes, 16, 0, ClusterConfig{ProtectedWaysPerApp: 8, ConfinedWays: 4})
+	pm := plan.MaskFor(ClusterProtected)
+	if pm != plan.Protected|plan.Default {
+		t.Fatalf("protected owner mask %v, want reserve+middle %v", pm, plan.Protected|plan.Default)
+	}
+	if pm&plan.Confined != 0 {
+		t.Fatal("protected owner mask overlaps the confined partition")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MaskFor(unknown) did not panic")
+			}
+		}()
+		plan.MaskFor(ClusterKind(9))
+	}()
+}
+
+func TestPlanClustersPanicsOnNarrowCache(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PlanClusters(ways=2) did not panic")
+		}
+	}()
+	PlanClusters(nil, 2, 0, ClusterConfig{})
+}
+
+func TestClustererRescoreReportsChanges(t *testing.T) {
+	cl := NewClusterer(16, ClusterConfig{})
+	classes := []AppClass{{Latency: true}, {Aggressor: true}}
+	if !cl.Rescore(classes, 0) {
+		t.Fatal("first rescore reported no change")
+	}
+	if cl.Rescore(classes, 0) {
+		t.Fatal("identical rescore reported a change")
+	}
+	if !cl.Rescore(classes, 2) {
+		t.Fatal("pressure change reported no change")
+	}
+}
+
+// TestClustererRescoreAllocFree pins the per-period re-score as
+// allocation-free (it runs every scheduler step on every domain).
+func TestClustererRescoreAllocFree(t *testing.T) {
+	cl := NewClusterer(16, ClusterConfig{})
+	classes := []AppClass{{Latency: true}, {Aggressor: true}, {Sensitive: true}, {}}
+	pressure := 0
+	if n := testing.AllocsPerRun(200, func() {
+		pressure = (pressure + 1) % 4
+		cl.Rescore(classes, pressure)
+	}); n != 0 {
+		t.Fatalf("Rescore allocates %v/op, want 0", n)
+	}
+}

@@ -31,9 +31,40 @@ import (
 	"caer/internal/caer"
 	"caer/internal/comm"
 	"caer/internal/machine"
+	"caer/internal/mem"
 	"caer/internal/pmu"
 	"caer/internal/telemetry"
 )
+
+// ResponseKind selects the scheduler's contention response family.
+type ResponseKind int
+
+const (
+	// ResponseThrottle pauses a domain's batch set on contention verdicts
+	// (the paper's red-light/green-light and soft-lock levers). Default.
+	ResponseThrottle ResponseKind = iota
+	// ResponsePartition never pauses: it resizes LLC way-partitions
+	// instead, confining aggressors so they physically cannot evict the
+	// sensitive apps' lines (LFOC-style).
+	ResponsePartition
+	// ResponseHybrid does both: partitions are maintained and contention
+	// verdicts still throttle.
+	ResponseHybrid
+)
+
+// String names the response kind.
+func (k ResponseKind) String() string {
+	switch k {
+	case ResponseThrottle:
+		return "throttle"
+	case ResponsePartition:
+		return "partition"
+	case ResponseHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("ResponseKind(%d)", int(k))
+	}
+}
 
 // DecisionKind classifies an entry of the scheduler's decision log.
 type DecisionKind int
@@ -115,6 +146,12 @@ type Config struct {
 	MigrationMargin float64
 	// Hysteresis is the classifier's class-flip streak; default 8.
 	Hysteresis int
+	// Response selects the contention response family: throttle (the
+	// default), LLC way-partitioning, or both (DESIGN.md §16).
+	Response ResponseKind
+	// Cluster tunes the partition planner when Response is
+	// ResponsePartition or ResponseHybrid.
+	Cluster ClusterConfig
 	// TrackOffset shifts every span-recorder track id this scheduler uses
 	// by a constant, so N schedulers (one per fleet machine) can share one
 	// process-wide span ring without colliding on slot ids: machine k's
@@ -218,6 +255,17 @@ type Scheduler struct {
 	freeCount        []int
 	domNeighborSlots [][]*comm.Slot
 	coreBusy         []bool
+
+	// Partition-response state (nil/empty under ResponseThrottle):
+	// per-domain planners, verdict-driven confinement pressure, and the
+	// desired/applied per-local-core masks (resizes fire only on a
+	// want!=applied delta, keeping the per-period path allocation-free).
+	clusterers   []*Clusterer
+	domPressure  []int
+	wantMask     [][]mem.WayMask
+	appliedMask  [][]mem.WayMask
+	classScratch []AppClass
+	coreScratch  []int
 
 	decisions  []Decision
 	migrations int
@@ -530,6 +578,28 @@ func (s *Scheduler) start() {
 		s.freeCount[la.domain]--
 		s.domNeighborSlots[la.domain] = append(s.domNeighborSlots[la.domain], la.slot)
 	}
+	if s.cfg.Response != ResponseThrottle {
+		s.clusterers = make([]*Clusterer, domains)
+		s.domPressure = make([]int, domains)
+		s.wantMask = make([][]mem.WayMask, domains)
+		s.appliedMask = make([][]mem.WayMask, domains)
+		for d := 0; d < domains; d++ {
+			if len(s.domNeighborSlots[d]) == 0 {
+				continue // nothing to protect: the domain stays unpartitioned
+			}
+			h := s.m.DomainHierarchy(d)
+			s.clusterers[d] = NewClusterer(h.L3().Ways(), s.cfg.Cluster)
+			cores := h.Cores()
+			s.wantMask[d] = make([]mem.WayMask, cores)
+			s.appliedMask[d] = make([]mem.WayMask, cores)
+			full := mem.FullMask(h.L3().Ways())
+			for c := 0; c < cores; c++ {
+				s.appliedMask[d][c] = full
+			}
+		}
+		s.classScratch = make([]AppClass, s.m.Cores())
+		s.coreScratch = make([]int, s.m.Cores())
+	}
 	s.queue = newJobQueue(len(s.jobs))
 	for i := range s.jobs {
 		s.queue.push(i)
@@ -558,6 +628,7 @@ func (s *Scheduler) Step() {
 	s.ageQueue()
 	s.admit()
 	s.maybeMigrate()
+	s.applyPartitions()
 	telemetry.SchedQueueDepth.Set(float64(s.queue.len()))
 	running := 0
 	for _, j := range s.jobs {
@@ -643,15 +714,107 @@ func (s *Scheduler) tickEngines() {
 }
 
 // applyDirectives actuates each domain's combined directive on its running
-// jobs' cores and slots. Allocation-free; runs every period.
+// jobs' cores and slots. Under the pure partition response the directive
+// never pauses anyone — contention verdicts move way-masks instead (see
+// applyPartitions) and the batch set keeps running. Allocation-free; runs
+// every period.
 func (s *Scheduler) applyDirectives() {
+	throttle := s.cfg.Response != ResponsePartition
 	for _, j := range s.jobs {
 		if j.state != JobRunning {
 			continue
 		}
 		d := s.domDirective[j.domain]
+		if !throttle {
+			d = comm.DirectiveRun
+		}
 		s.m.Core(j.core).SetPaused(d == comm.DirectivePause)
 		j.slot.SetDirective(d)
+	}
+}
+
+// applyPartitions drives the LFOC-style partition response (DESIGN.md
+// §16): per domain, fold this period's combined engine verdict into the
+// confinement pressure, re-plan the cache clusters from the classifier's
+// current classes, and apply any mask deltas to the domain's L3. The
+// per-period path is allocation-free; actual resizes (rare) go through
+// the cold resizePartition.
+func (s *Scheduler) applyPartitions() {
+	if s.cfg.Response == ResponseThrottle {
+		return
+	}
+	for d, cl := range s.clusterers {
+		if cl == nil {
+			continue
+		}
+		if s.domDirective[d] == comm.DirectivePause {
+			if s.domPressure[d] < cl.cfg.MaxPressure {
+				s.domPressure[d]++
+			}
+		} else if s.domPressure[d] > 0 {
+			s.domPressure[d]--
+		}
+		// Gather resident apps into the pre-sized scratches (indexed
+		// writes, never growth: n is bounded by the core count).
+		n := 0
+		for i := range s.latency {
+			la := &s.latency[i]
+			if la.domain != d {
+				continue
+			}
+			s.classScratch[n] = AppClass{Name: la.name, Latency: true,
+				Aggressor: s.classifier.Aggressor(la.app), Sensitive: s.classifier.Sensitive(la.app)}
+			s.coreScratch[n] = s.m.LocalCore(la.core)
+			n++
+		}
+		for _, j := range s.jobs {
+			if j.state != JobRunning || j.domain != d {
+				continue
+			}
+			s.classScratch[n] = AppClass{Name: j.spec.Name,
+				Aggressor: s.classifier.Aggressor(j.app), Sensitive: s.classifier.Sensitive(j.app)}
+			s.coreScratch[n] = s.m.LocalCore(j.core)
+			n++
+		}
+		classes, cores := s.classScratch[:n], s.coreScratch[:n]
+		if cl.Rescore(classes, s.domPressure[d]) {
+			telemetry.PartPlanChanges.Inc()
+			plan := cl.Plan()
+			telemetry.PartProtectedWays.Set(float64(plan.Protected.Count()))
+			telemetry.PartConfinedWays.Set(float64(plan.Confined.Count()))
+			telemetry.PartPressure.Set(float64(s.domPressure[d]))
+		}
+		plan := cl.Plan()
+		want := s.wantMask[d]
+		for lc := range want {
+			want[lc] = plan.Default
+		}
+		for i := range classes {
+			want[cores[i]] = plan.MaskFor(Classify(classes[i]))
+		}
+		for lc := range want {
+			if want[lc] != s.appliedMask[d][lc] {
+				s.resizePartition(d, lc, want[lc])
+			}
+		}
+	}
+}
+
+// resizePartition applies one owner's new L3 way-mask, back-invalidating
+// dropped lines under invalidate-mode resizes. Cold path: resizes are rare
+// relative to periods and may allocate.
+func (s *Scheduler) resizePartition(d, localCore int, mask mem.WayMask) {
+	h := s.m.DomainHierarchy(d)
+	dropped := h.SetL3OwnerMask(localCore, mask, s.cfg.Cluster.ResizeMode)
+	s.appliedMask[d][localCore] = mask
+	telemetry.PartResizes.Inc()
+	if dropped > 0 {
+		telemetry.PartInvalidations.Add(uint64(dropped))
+	}
+	if s.cfg.Cluster.ResizeMode == mem.ResizeOrphan {
+		if n := h.L3().StrandedLines(localCore); n > 0 {
+			telemetry.PartOrphans.Add(uint64(n))
+		}
 	}
 }
 

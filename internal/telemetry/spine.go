@@ -69,6 +69,16 @@ var (
 	SchedQueueDepth     = defaultRegistry.Gauge("caer_sched_queue_depth", "jobs waiting in the admission queue")
 	SchedRunning        = defaultRegistry.Gauge("caer_sched_running", "jobs currently resident on cores")
 
+	// part: the LLC way-partitioning response family (cluster plans and
+	// online resizes; DESIGN.md §16).
+	PartPlanChanges   = defaultRegistry.Counter("caer_part_plans_total", "cluster-plan changes produced by the partition planner")
+	PartResizes       = defaultRegistry.Counter("caer_part_resizes_total", "per-owner L3 way-mask resizes applied")
+	PartInvalidations = defaultRegistry.Counter("caer_part_lines_invalidated_total", "L3 lines dropped by invalidate-mode partition resizes")
+	PartOrphans       = defaultRegistry.Counter("caer_part_orphans_total", "lines stranded outside their owner's mask by orphan-mode resizes")
+	PartProtectedWays = defaultRegistry.Gauge("caer_part_protected_ways", "ways in the protected (sensitive) partition of the most recently planned domain")
+	PartConfinedWays  = defaultRegistry.Gauge("caer_part_confined_ways", "ways in the confined (aggressor) partition of the most recently planned domain")
+	PartPressure      = defaultRegistry.Gauge("caer_part_pressure", "verdict-driven confinement pressure of the most recently planned domain")
+
 	// fleet: cluster-level traffic, dispatch, and cross-machine migration.
 	FleetTicks       = defaultRegistry.Counter("caer_fleet_ticks_total", "fleet scheduler ticks (one per cluster-wide period)")
 	FleetArrivals    = defaultRegistry.Counter("caer_fleet_arrivals_total", "jobs arrived into the fleet admission queue")
